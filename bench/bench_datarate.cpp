@@ -1,0 +1,54 @@
+/// §3.2.2 / §6 — Downlink data rate (Eqs. 12–14). Reproduces the paper's
+/// arithmetic: the 0.1 Mbps example (10-bit symbols at a 100 µs period) and
+/// the practical 50–100 kbps regime bounded by commercial radars' minimum
+/// chirp duration and the logarithmic growth of bits per slope count.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/system_config.hpp"
+#include "phy/datarate.hpp"
+
+int main() {
+  using namespace bis;
+  bench::banner("Data rate (paper 3.2.2, Eq. 12-14)",
+                "downlink rate vs symbol size and chirp period",
+                "0.1 Mbps at 10 bits/100 us; practical 50-100 kbps");
+
+  std::printf("paper example: N_symbol=10, T_period=100 us -> %.3f Mbps\n\n",
+              phy::downlink_data_rate(10, 100e-6) / 1e6);
+
+  std::vector<std::vector<std::string>> rows;
+  const std::vector<std::string> cols = {"bits/symbol", "T_period [us]",
+                                         "raw rate [kbps]",
+                                         "goodput(32-sym pkt) [kbps]",
+                                         "slopes needed"};
+  for (std::size_t bits : {2ul, 4ul, 5ul, 6ul, 8ul, 10ul}) {
+    for (double period_us : {60.0, 100.0, 120.0}) {
+      const double rate = phy::downlink_data_rate(bits, period_us * 1e-6);
+      const double good = phy::downlink_goodput(bits, period_us * 1e-6, 32, 11);
+      rows.push_back({std::to_string(bits), format_double(period_us, 0),
+                      format_double(rate / 1e3, 1), format_double(good / 1e3, 1),
+                      std::to_string((1ull << bits) + 2)});
+    }
+  }
+  bench::print_table(cols, rows);
+  bench::maybe_csv("datarate", cols, rows);
+
+  // Eq. 13 worked example with the paper's 18-inch numbers.
+  std::printf("\nEq. 13 example (B=1 GHz, dL=18 in, k=0.7): df 11-110 kHz, "
+              "3 kHz interval -> N_slope=%zu -> N_symbol=%zu bits\n",
+              phy::slope_count(11e3, 110e3, 3e3),
+              phy::symbol_bits(phy::slope_count(11e3, 110e3, 3e3)));
+
+  // The default system's achievable rate.
+  core::SystemConfig cfg;
+  const auto alphabet = cfg.make_alphabet();
+  std::printf("\ndefault 9 GHz system: %zu slopes, %zu bits/symbol, %.1f kbps "
+              "raw downlink\n",
+              alphabet.slot_count(), alphabet.bits_per_symbol(),
+              phy::downlink_data_rate(alphabet.bits_per_symbol(),
+                                      cfg.radar.chirp_period_s) /
+                  1e3);
+  return 0;
+}

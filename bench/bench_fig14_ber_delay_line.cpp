@@ -1,0 +1,41 @@
+/// Fig. 14 — Downlink BER vs SNR for different delay-line length
+/// differences ΔL ∈ {9, 18, 45} inch at a fixed 5-bit symbol size.
+///
+/// Paper shape: longer ΔL separates beat frequencies more and wins at every
+/// SNR; the 9-inch line is the worst. (Our decoder's low-cycle regime makes
+/// the short lines degrade harder than the paper's — see EXPERIMENTS.md.)
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace bis;
+  bench::banner("Fig. 14", "downlink BER vs SNR x delay-line length (5-bit symbols)",
+                "BER improves with delay-line length at every SNR; 45 in "
+                "clearly best, 9 in worst");
+
+  std::vector<std::vector<std::string>> rows;
+  const std::vector<std::string> cols = {"delta_L [in]", "distance [m]",
+                                         "env SNR [dB]", "BER", "BER upper95"};
+  for (double dl : {9.0, 18.0, 45.0}) {
+    for (double r : {1.0, 2.0, 3.5, 5.0, 7.0, 9.0}) {
+      core::SystemConfig cfg;
+      cfg.tag = core::TagPreset::prototype(dl);
+      cfg.bits_per_symbol = 5;
+      cfg.tag_range_m = r;
+      cfg.seed = 3000 + static_cast<std::uint64_t>(dl * 10 + r * 7);
+      const auto m = core::measure_downlink_ber(cfg, 5000, 120);
+      rows.push_back({format_double(dl, 0), format_double(r, 1),
+                      format_double(m.envelope_snr_db, 1),
+                      format_scientific(m.ber), format_scientific(m.ber_upper95)});
+      std::printf("dL %4.0f in @ %4.1f m (SNR %5.1f dB): BER %.2e\n", dl, r,
+                  m.envelope_snr_db, m.ber);
+    }
+  }
+  std::printf("\n");
+  bench::print_table(cols, rows);
+  bench::maybe_csv("fig14_ber_delay_line", cols, rows);
+  return 0;
+}

@@ -1,0 +1,58 @@
+/// Fig. 15 — Uplink SNR vs distance.
+///
+/// Paper shape: the backscatter link loses power as R⁴ but the tag's
+/// retro-reflective Van Atta keeps the uplink usable at 7 m (paper quotes
+/// ~4 dB raw SNR there → theoretical OOK BER ~1e-2). We report the
+/// detector's processed SNR, the per-chirp equivalent, and the non-retro
+/// baseline ablation.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/experiments.hpp"
+#include "phy/ber.hpp"
+
+int main() {
+  using namespace bis;
+  bench::banner("Fig. 15", "uplink SNR vs distance (retro vs plain tag)",
+                "SNR falls ~R^4 but stays usable at 7 m with retro-"
+                "reflection; plain tag loses the retro gain (~18 dB) and "
+                "drops to the detection edge");
+
+  std::vector<std::vector<std::string>> rows;
+  const std::vector<std::string> cols = {
+      "distance [m]", "link power [dBm]",   "SNR proc [dB]", "SNR/chirp [dB]",
+      "detect rate",  "uplink BER",         "no-retro SNR [dB]",
+      "no-retro detect"};
+  for (double r : {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}) {
+    core::SystemConfig cfg;
+    cfg.tag_range_m = r;
+    cfg.seed = 4000 + static_cast<std::uint64_t>(r * 10);
+    const auto m = core::measure_uplink(cfg, 6, 8, false);
+    const double link_dbm = core::LinkSimulator(cfg).uplink_power_at_radar_dbm(r);
+
+    auto plain = cfg;
+    plain.tag.rf.retro_reflective = false;
+    const auto mp = core::measure_uplink(plain, 6, 8, false);
+
+    rows.push_back({format_double(r, 1), format_double(link_dbm, 1),
+                    format_double(m.mean_snr_processed_db, 1),
+                    format_double(m.mean_snr_per_chirp_db, 1),
+                    format_double(m.detection_rate, 2), format_scientific(m.ber),
+                    format_double(mp.mean_snr_processed_db, 1),
+                    format_double(mp.detection_rate, 2)});
+    std::printf("r=%4.1f m: link %6.1f dBm, SNR %5.1f dB (per-chirp %6.1f), "
+                "BER %.1e | no-retro SNR %5.1f dB det %.2f\n",
+                r, link_dbm, m.mean_snr_processed_db, m.mean_snr_per_chirp_db,
+                m.ber, mp.mean_snr_processed_db, mp.detection_rate);
+  }
+  std::printf("\n");
+  bench::print_table(cols, rows);
+  bench::maybe_csv("fig15_uplink_snr", cols, rows);
+  std::printf("\n(theoretical OOK BER at 4 dB raw SNR, paper's anchor: %.1e)\n",
+              phy::ook_theoretical_ber(4.0));
+  std::printf("note: at 0.5 m the tag return clips the radar's fixed-AGC IF\n"
+              "chain, so the measured SNR there sits below the R^4 trend —\n"
+              "the same near-range saturation real front-ends exhibit.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// Fig. 17 — Downlink BER vs SNR at 9 GHz vs 24 GHz, both at 250 MHz
+/// bandwidth (the ISM-band limit at 24 GHz), same tag hardware and ADC rate.
+///
+/// Paper shape: comparable BER across the two bands at equal SNR (the
+/// 24 GHz radar slightly ahead thanks to its better oscillator). Known
+/// deviation of this reproduction: at 250 MHz the beat waveform carries only
+/// ~1.4 cycles per chirp, a regime where our estimator is start-phase
+/// sensitive; the phase pattern differs across bands, so our 24 GHz curve
+/// sits above the 9 GHz one instead of slightly below (EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace bis;
+  bench::banner("Fig. 17", "downlink BER vs SNR: 9 GHz vs 24 GHz (250 MHz BW)",
+                "comparable across bands at equal SNR; both functional with "
+                "the same tag and kHz-class ADC (see deviation note)");
+
+  std::vector<std::vector<std::string>> rows;
+  const std::vector<std::string> cols = {"radar", "distance [m]", "env SNR [dB]",
+                                         "BER", "locked pkts"};
+  // 3-bit symbols: the workable regime at 250 MHz (the paper does not state
+  // Fig. 17's symbol size; smaller symbols keep both bands in range).
+  for (int band = 0; band < 2; ++band) {
+    for (double r : {0.5, 1.0, 1.5, 2.5, 4.0}) {
+      core::SystemConfig cfg;
+      cfg.radar = band ? core::RadarPreset::tinyrad_24ghz()
+                       : core::RadarPreset::chirpgen_9ghz(250e6);
+      cfg.bits_per_symbol = 3;
+      cfg.tag_range_m = r;
+      cfg.seed = 6000 + band * 131 + static_cast<std::uint64_t>(r * 10);
+      const auto m = core::measure_downlink_ber(cfg, 4000, 100);
+      rows.push_back({band ? "24 GHz" : "9 GHz", format_double(r, 1),
+                      format_double(m.envelope_snr_db, 1), format_scientific(m.ber),
+                      std::to_string(m.packets_locked) + "/" +
+                          std::to_string(m.packets)});
+      std::printf("%-6s @ %3.1f m (SNR %5.1f dB): BER %.2e, locked %zu/%zu\n",
+                  band ? "24GHz" : "9GHz", r, m.envelope_snr_db, m.ber,
+                  m.packets_locked, m.packets);
+    }
+  }
+  std::printf("\n");
+  bench::print_table(cols, rows);
+  bench::maybe_csv("fig17_mmwave", cols, rows);
+  return 0;
+}

@@ -1,0 +1,83 @@
+/// Table 1 — Capability comparison. The paper's table is qualitative
+/// (Millimetro / mmTag / MilBack / BiScatter); we print it and then *run*
+/// one demonstration of each BiScatter capability on the simulator so every
+/// checkmark is backed by an executed experiment.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace bis;
+  bench::banner("Table 1", "state-of-the-art radar backscatter comparison",
+                "BiScatter: the only system with uplink + downlink + "
+                "localization + integrated sensing&comms on commercial radars");
+
+  bench::print_table(
+      {"system", "uplink", "downlink", "tag localization", "integrated S&C",
+       "commercial radar"},
+      {{"Millimetro [44]", "no", "no", "yes", "no", "yes"},
+       {"mmTag [32]", "yes", "no", "no", "no", "yes"},
+       {"MilBack [29]", "yes", "yes", "yes", "no", "no"},
+       {"BiScatter", "yes", "yes", "yes", "yes", "yes"}});
+
+  std::printf("\nexecuting one demonstration per BiScatter capability:\n\n");
+
+  core::SystemConfig cfg;
+  cfg.tag_range_m = 3.0;
+  cfg.tag.node.uplink.chirps_per_symbol = 32;
+  cfg.packet.header_chirps = 12;
+  cfg.packet.sync_chirps = 4;
+  cfg.seed = 99;
+  core::LinkSimulator sim(cfg);
+  sim.calibrate_tag();
+  Rng rng(1);
+
+  // Downlink.
+  const auto payload = rng.bits(64);
+  const auto down = sim.run_downlink(payload);
+  std::printf("  downlink:       locked=%d crc_ok=%d errors=%zu/%zu  -> %s\n",
+              down.locked, down.crc_ok, down.bit_errors, down.bits_compared,
+              down.crc_ok && down.bit_errors == 0 ? "PASS" : "FAIL");
+
+  // Uplink.
+  const phy::Bits reply = {1, 0, 1, 1, 0, 0, 1, 0};
+  const auto up = sim.run_uplink(reply, false);
+  std::printf("  uplink:         detected=%d errors=%zu/%zu snr=%.1f dB -> %s\n",
+              up.detection.found, up.bit_errors, up.bits_compared,
+              up.snr_processed_db,
+              up.detection.found && up.bit_errors == 0 ? "PASS" : "FAIL");
+
+  // Localization.
+  std::printf("  localization:   range %.3f m (true %.1f m, error %.2f cm) -> %s\n",
+              up.detection.range_m, cfg.tag_range_m, up.range_error_m * 100,
+              up.range_error_m < 0.05 ? "PASS" : "FAIL");
+
+  // Integrated sensing & communication in one frame.
+  const auto isac = sim.run_integrated(rng.bits(64), {1, 1, 0, 1});
+  std::printf("  integrated S&C: downlink errors=%zu/%zu uplink errors=%zu/%zu "
+              "range error %.2f cm -> %s\n",
+              isac.downlink.bit_errors, isac.downlink.bits_compared,
+              isac.uplink.bit_errors, isac.uplink.bits_compared,
+              isac.uplink.range_error_m * 100,
+              isac.downlink.crc_ok && isac.uplink.bit_errors == 0 &&
+                      isac.uplink.range_error_m < 0.05
+                  ? "PASS"
+                  : "FAIL");
+
+  // Commercial-radar compatibility: the waveform is plain FMCW chirps with
+  // fixed bandwidth, a fixed period, and only the duration varying (within
+  // the 80% duty bound commercial radars accept).
+  const auto alphabet = sim.alphabet();
+  bool compatible = true;
+  for (std::size_t s = 0; s < alphabet.slot_count(); ++s) {
+    const auto c = alphabet.chirp(s);
+    if (c.duration_s > 0.8 * c.period() + 1e-12 || c.bandwidth_hz != 1e9)
+      compatible = false;
+  }
+  std::printf("  commercial fit: fixed B, fixed T_period, duty <= 80%% for all "
+              "%zu slopes -> %s\n",
+              alphabet.slot_count(), compatible ? "PASS" : "FAIL");
+  return 0;
+}

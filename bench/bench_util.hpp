@@ -1,0 +1,41 @@
+#pragma once
+
+/// Shared helpers for the figure-reproduction benches: consistent headers
+/// and table/CSV output. Each bench prints the series the corresponding
+/// paper figure/table reports (shape reproduction; see EXPERIMENTS.md).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+
+namespace bench {
+
+inline void banner(const std::string& id, const std::string& what,
+                   const std::string& paper_expectation) {
+  std::printf("=================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("paper: %s\n", paper_expectation.c_str());
+  std::printf("=================================================================\n");
+}
+
+inline void print_table(const std::vector<std::string>& columns,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::fputs(bis::format_table(columns, rows).c_str(), stdout);
+}
+
+/// CSV output directory: set BISCATTER_BENCH_CSV_DIR to enable CSV dumps.
+inline const char* csv_dir() { return std::getenv("BISCATTER_BENCH_CSV_DIR"); }
+
+inline void maybe_csv(const std::string& name,
+                      const std::vector<std::string>& columns,
+                      const std::vector<std::vector<std::string>>& rows) {
+  const char* dir = csv_dir();
+  if (!dir) return;
+  bis::CsvWriter csv(std::string(dir) + "/" + name + ".csv", columns);
+  for (const auto& r : rows) csv.row_strings(r);
+  std::printf("[csv written: %s/%s.csv]\n", dir, name.c_str());
+}
+
+}  // namespace bench

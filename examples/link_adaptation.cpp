@@ -1,0 +1,66 @@
+/// @file link_adaptation.cpp
+/// Downlink link adaptation — the capability the paper's introduction
+/// motivates: "adapting the tag modulation scheme or data rate to link
+/// conditions" and "making on-demand retransmissions in case of packet
+/// loss". The radar starts at the highest symbol size (fastest downlink)
+/// and steps down whenever CRC-verified delivery fails, converging on the
+/// fastest reliable rate for the tag's range.
+
+#include <cstdio>
+
+#include "core/biscatter.hpp"
+
+namespace {
+
+/// Deliver one CRC-protected packet; returns true on verified delivery.
+bool try_delivery(bis::core::SystemConfig cfg, std::size_t bits_per_symbol,
+                  const bis::phy::Bits& payload, int attempt) {
+  cfg.bits_per_symbol = bits_per_symbol;
+  cfg.seed = cfg.seed + 7919 * static_cast<std::uint64_t>(attempt);
+  bis::core::LinkSimulator sim(cfg);
+  sim.calibrate_tag();
+  const auto r = sim.run_downlink(payload);
+  return r.locked && r.crc_ok && r.address_match;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bis;
+
+  const auto payload = phy::string_to_bits("SENSOR CONFIG v3");
+  std::printf("payload: %zu bits (\"SENSOR CONFIG v3\")\n\n", payload.size());
+
+  for (double range : {3.0, 8.0, 10.0}) {
+    core::SystemConfig cfg;
+    cfg.tag_range_m = range;
+    cfg.seed = 31337;
+
+    std::printf("tag at %.1f m:\n", range);
+    std::size_t bits = 7;  // start greedy: 7 bits/symbol
+    int attempt = 0;
+    bool delivered = false;
+    while (bits >= 2) {
+      const double rate =
+          phy::downlink_data_rate(bits, cfg.radar.chirp_period_s) / 1e3;
+      // Two tries per rate before stepping down (retransmission policy).
+      bool ok = false;
+      for (int t = 0; t < 2 && !ok; ++t)
+        ok = try_delivery(cfg, bits, payload, ++attempt);
+      std::printf("  %zu bits/symbol (%.1f kbps): %s\n", bits, rate,
+                  ok ? "delivered (CRC verified)" : "failed twice, stepping down");
+      if (ok) {
+        delivered = true;
+        break;
+      }
+      --bits;
+    }
+    if (!delivered) std::printf("  link down even at 2 bits/symbol\n");
+    std::printf("\n");
+  }
+
+  std::printf("shape check: closer tags converge on larger symbol sizes\n"
+              "(higher rate); far tags settle lower — the data-rate/range\n"
+              "trade-off of paper Figs. 12-13.\n");
+  return 0;
+}

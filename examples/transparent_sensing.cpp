@@ -1,0 +1,75 @@
+/// @file transparent_sensing.cpp
+/// Demonstrates the "transparency" property at the heart of BiScatter's
+/// ISAC protocol (paper §3.3): continuous radar sensing proceeds unimpaired
+/// while two-way communication runs in the same frames. Also walks the tag's
+/// two operating modes and their power budgets (paper §4.1).
+///
+/// Scenario: a robot's radar must keep localizing a tag (its navigation
+/// anchor) every frame. We stream ten consecutive integrated frames — each
+/// carrying a fresh downlink packet and uplink reply — and watch the
+/// localization track stay centimetre-stable throughout.
+
+#include <cstdio>
+
+#include "core/biscatter.hpp"
+
+int main() {
+  using namespace bis;
+
+  core::SystemConfig cfg;
+  cfg.tag_range_m = 4.0;
+  cfg.tag.node.uplink.chirps_per_symbol = 32;
+  cfg.packet.header_chirps = 12;  // integrated mode: tag sees ~half of them
+  cfg.packet.sync_chirps = 4;
+  cfg.seed = 7;
+
+  core::LinkSimulator link(cfg);
+  link.calibrate_tag();
+  Rng rng(99);
+
+  std::printf("streaming 10 integrated frames (downlink + uplink + "
+              "localization each):\n\n");
+  std::printf("  frame  dl locked  dl errors  ul errors  range [m]  err [cm]\n");
+  std::printf("  ------------------------------------------------------------\n");
+
+  std::size_t dl_errors = 0, dl_bits = 0, ul_errors = 0, ul_bits = 0;
+  RunningStats range_err;
+  for (int f = 0; f < 10; ++f) {
+    const auto payload = rng.bits(80);
+    const auto reply = rng.bits(4);
+    const auto r = link.run_integrated(payload, reply);
+    dl_errors += r.downlink.bit_errors;
+    dl_bits += r.downlink.bits_compared;
+    ul_errors += r.uplink.bit_errors;
+    ul_bits += r.uplink.bits_compared;
+    if (r.uplink.detection.found) range_err.add(r.uplink.range_error_m);
+    std::printf("  %5d  %9d  %6zu/%zu  %6zu/%zu  %9.3f  %8.2f\n", f,
+                r.downlink.locked, r.downlink.bit_errors,
+                r.downlink.bits_compared, r.uplink.bit_errors,
+                r.uplink.bits_compared, r.uplink.detection.range_m,
+                r.uplink.range_error_m * 100);
+  }
+
+  std::printf("\n  totals: downlink %zu/%zu bit errors, uplink %zu/%zu, "
+              "mean range error %.2f cm\n",
+              dl_errors, dl_bits, ul_errors, ul_bits,
+              range_err.count() ? range_err.mean() * 100 : -1.0);
+
+  // Power accounting for the session (paper §4.1).
+  const auto& pm = link.tag_node().power();
+  std::printf("\ntag power budget:\n");
+  std::printf("  continuous comm+sensing mode: %.1f mW\n",
+              pm.average_power_w(tag::TagOperatingMode::kContinuous) * 1e3);
+  std::printf("  sequential uplink/downlink:   %.1f mW\n",
+              pm.average_power_w(tag::TagOperatingMode::kSequential) * 1e3);
+  std::printf("  custom IC projection:          %.1f mW\n",
+              tag::PowerModel::custom_ic_projection_w() * 1e3);
+
+  const double rate =
+      phy::downlink_data_rate(cfg.bits_per_symbol, cfg.radar.chirp_period_s);
+  std::printf("  energy per downlink bit:       %.2f uJ (continuous mode, "
+              "%.1f kbps)\n",
+              pm.energy_per_bit_j(tag::TagOperatingMode::kContinuous, rate) * 1e6,
+              rate / 1e3);
+  return 0;
+}

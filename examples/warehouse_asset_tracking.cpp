@@ -1,0 +1,67 @@
+/// @file warehouse_asset_tracking.cpp
+/// The paper's motivating scenario (Fig. 1): a radar-equipped drone in a
+/// warehouse localizes passive asset tags while sending them commands —
+/// sensing, localization, downlink, and uplink on the same radio unit.
+///
+/// Three tags sit at different shelves. The radar:
+///   1. broadcasts a configuration message every tag accepts,
+///   2. sends a unicast command to one tag (the others filter it out),
+///   3. runs a sensing sweep that localizes all three simultaneously by
+///      their assigned modulation frequencies — with CSSK downlink traffic
+///      concurrently in the air.
+
+#include <cstdio>
+
+#include "core/biscatter.hpp"
+
+int main() {
+  using namespace bis;
+
+  core::NetworkConfig net;
+  net.base.seed = 2024;
+  const auto freqs =
+      core::assign_mod_frequencies(3, net.base.radar.chirp_period_s);
+  net.tags = {
+      {0x01, 1.8, freqs[0]},  // pallet A
+      {0x02, 3.6, freqs[1]},  // pallet B
+      {0x03, 5.4, freqs[2]},  // pallet C
+  };
+
+  std::printf("warehouse: 3 asset tags at 1.8 / 3.6 / 5.4 m, modulation "
+              "frequencies %.0f / %.0f / %.0f Hz\n\n",
+              freqs[0], freqs[1], freqs[2]);
+
+  core::BiScatterNetwork network(net);
+  network.calibrate_all();
+
+  // 1. Broadcast: set the reporting interval on every tag.
+  const auto broadcast = phy::string_to_bits("RATE=5s");
+  std::printf("broadcast \"RATE=5s\" to all tags:\n");
+  for (const auto& d : network.send_downlink(phy::kBroadcastAddress, broadcast)) {
+    std::printf("  tag 0x%02X: locked=%d crc=%d accepted=%d payload=\"%s\"\n",
+                d.address, d.locked, d.crc_ok, d.address_match,
+                d.address_match ? phy::bits_to_string(d.payload).c_str() : "-");
+  }
+
+  // 2. Unicast: wake up tag 0x02 only.
+  const auto wake = phy::string_to_bits("WAKE");
+  std::printf("\nunicast \"WAKE\" to tag 0x02:\n");
+  for (const auto& d : network.send_downlink(0x02, wake)) {
+    std::printf("  tag 0x%02X: accepted=%d%s\n", d.address, d.address_match,
+                d.address == 0x02 && d.address_match ? "  <- addressed tag" : "");
+  }
+
+  // 3. Simultaneous sensing sweep — all tags localized in one frame while
+  //    the radar keeps changing chirp slopes for downlink traffic.
+  std::printf("\nsensing sweep (CSSK downlink concurrently active):\n");
+  for (const auto& obs : network.sense_all(/*downlink_active=*/true)) {
+    std::printf("  tag 0x%02X: detected=%d range %.3f m (error %.1f cm, "
+                "SNR %.1f dB)\n",
+                obs.address, obs.detected, obs.range_m, obs.range_error_m * 100,
+                obs.snr_db);
+  }
+
+  std::printf("\nthe whole exchange used one FMCW waveform: no separate "
+              "downlink radio,\nno sensing pause (paper Fig. 1 / §3.3).\n");
+  return 0;
+}

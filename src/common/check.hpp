@@ -1,0 +1,32 @@
+#pragma once
+
+/// @file check.hpp
+/// Precondition / invariant checking. BIS_CHECK is always on (throws
+/// std::invalid_argument for violated preconditions) because the library is a
+/// research instrument: silent misconfiguration would corrupt experiments.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bis::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream oss;
+  oss << "BIS_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw std::invalid_argument(oss.str());
+}
+
+}  // namespace bis::detail
+
+#define BIS_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) ::bis::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define BIS_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) ::bis::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

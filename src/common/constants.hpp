@@ -1,0 +1,26 @@
+#pragma once
+
+/// @file constants.hpp
+/// Physical and mathematical constants used throughout BiScatter.
+
+namespace bis {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299792458.0;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Reference temperature for thermal noise [K].
+inline constexpr double kReferenceTemperatureK = 290.0;
+
+/// Thermal noise power spectral density at 290 K [dBm/Hz] (= 10log10(kT/1mW)).
+inline constexpr double kThermalNoiseDbmPerHz = -173.975;
+
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Metres per inch; delay-line lengths in the paper are given in inches.
+inline constexpr double kMetersPerInch = 0.0254;
+
+}  // namespace bis

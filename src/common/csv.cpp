@@ -1,0 +1,76 @@
+#include "common/csv.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace bis {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& columns)
+    : out_(path), n_columns_(columns.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  BIS_CHECK(!columns.empty());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  BIS_CHECK(values.size() == n_columns_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << std::setprecision(10) << values[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& cells) {
+  BIS_CHECK(cells.size() == n_columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+std::string format_table(const std::vector<std::string>& columns,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  for (const auto& r : rows) {
+    BIS_CHECK(r.size() == columns.size());
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+  }
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      oss << "  " << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    oss << '\n';
+  };
+  emit_row(columns);
+  std::size_t total = 2 * columns.size();
+  for (auto w : widths) total += w;
+  oss << std::string(total, '-') << '\n';
+  for (const auto& r : rows) emit_row(r);
+  return oss.str();
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string format_scientific(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::scientific << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+}  // namespace bis

@@ -1,0 +1,43 @@
+#pragma once
+
+/// @file csv.hpp
+/// Minimal CSV writer for experiment output. Benches write their series both
+/// to stdout (human-readable table) and optionally to CSV for plotting.
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace bis {
+
+class CsvWriter {
+ public:
+  /// Opens @p path for writing and emits the header row.
+  /// Throws std::runtime_error when the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// Appends a data row; must match the header width.
+  void row(const std::vector<double>& values);
+
+  /// Appends a row of pre-formatted cells; must match the header width.
+  void row_strings(const std::vector<std::string>& cells);
+
+  std::size_t columns() const { return n_columns_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t n_columns_;
+};
+
+/// Render a numeric table to a human-readable fixed-width string.
+std::string format_table(const std::vector<std::string>& columns,
+                         const std::vector<std::vector<std::string>>& rows);
+
+/// Format a double with the given precision (no trailing-zero trimming).
+std::string format_double(double value, int precision = 4);
+
+/// Scientific-notation formatting, convenient for BER values.
+std::string format_scientific(double value, int precision = 2);
+
+}  // namespace bis

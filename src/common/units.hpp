@@ -1,0 +1,51 @@
+#pragma once
+
+/// @file units.hpp
+/// Unit conversion helpers. All internal computation uses SI units
+/// (Hz, seconds, metres, watts); dB/dBm appear only at API boundaries.
+
+#include <cmath>
+
+namespace bis {
+
+/// Convert a power ratio to decibels.
+inline double to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// Convert decibels to a power ratio.
+inline double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Convert an amplitude (voltage) ratio to decibels.
+inline double amplitude_to_db(double ratio) { return 20.0 * std::log10(ratio); }
+
+/// Convert decibels to an amplitude (voltage) ratio.
+inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Convert watts to dBm.
+inline double watts_to_dbm(double watts) { return 10.0 * std::log10(watts * 1e3); }
+
+/// Convert dBm to watts.
+inline double dbm_to_watts(double dbm) { return std::pow(10.0, dbm / 10.0) * 1e-3; }
+
+/// Convenience literals for readability in configuration code.
+namespace units {
+
+constexpr double GHz = 1e9;
+constexpr double MHz = 1e6;
+constexpr double kHz = 1e3;
+constexpr double Hz = 1.0;
+
+constexpr double s = 1.0;
+constexpr double ms = 1e-3;
+constexpr double us = 1e-6;
+constexpr double ns = 1e-9;
+
+constexpr double m = 1.0;
+constexpr double cm = 1e-2;
+constexpr double mm = 1e-3;
+
+constexpr double mW = 1e-3;
+constexpr double uW = 1e-6;
+
+}  // namespace units
+
+}  // namespace bis

@@ -1,0 +1,322 @@
+#include "core/link_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace bis::core {
+namespace {
+
+tag::TagNodeConfig prepare_tag_config(const SystemConfig& config) {
+  tag::TagNodeConfig node = config.tag.node;
+  // The uplink cadence must match the radar frame cadence, and the decoder
+  // state machine must know the protocol's sync-field length.
+  node.uplink.chirp_period_s = config.radar.chirp_period_s;
+  node.expected_header_chirps = config.packet.header_chirps;
+  node.expected_sync_chirps = config.packet.sync_chirps;
+  return node;
+}
+
+}  // namespace
+
+LinkSimulator::LinkSimulator(const SystemConfig& config)
+    : config_(config),
+      alphabet_(config.make_alphabet()),
+      rng_(config.seed),
+      tag_(prepare_tag_config(config), alphabet_, Rng(config.seed ^ 0x7A67ull)),
+      range_processor_(radar::RangeProcessorConfig{}),
+      aligner_(radar::RangeAlignConfig{}) {
+  // Scene: tag amplitude from the two-way retro link budget; clutter
+  // objects at fixed positions with absolute (range-dependent) returns, so
+  // moving the tag changes the tag-to-clutter dynamics realistically.
+  const double f_c =
+      config_.radar.start_frequency_hz + config_.radar.bandwidth_hz / 2.0;
+  scene_.tag_range_m = config_.tag_range_m;
+  scene_.tag_amplitude_v =
+      std::sqrt(dbm_to_watts(uplink_power_at_radar_dbm(config_.tag_range_m)));
+  scene_.has_tag = true;
+  for (const auto& spec : radar::Scene::office_clutter_layout()) {
+    const double p_dbm = rf::clutter_return_dbm(config_.radar.rf, spec.range_m,
+                                                f_c, spec.rcs_offset_db);
+    scene_.clutter.push_back(
+        {spec.range_m, std::sqrt(dbm_to_watts(p_dbm)), spec.phase_rad});
+  }
+}
+
+double LinkSimulator::downlink_power_at_tag_dbm(double range_m) const {
+  return rf::downlink_power_at_tag_dbm(
+      config_.radar.rf, config_.tag.rf, range_m,
+      config_.radar.start_frequency_hz + config_.radar.bandwidth_hz / 2.0);
+}
+
+double LinkSimulator::uplink_power_at_radar_dbm(double range_m) const {
+  return rf::uplink_power_at_radar_dbm(
+      config_.radar.rf, config_.tag.rf, range_m,
+      config_.radar.start_frequency_hz + config_.radar.bandwidth_hz / 2.0);
+}
+
+std::vector<tag::IncidentPath> LinkSimulator::incident_paths(double range_m) const {
+  const double p_dbm = downlink_power_at_tag_dbm(range_m);
+  // Peak voltage of a real RF carrier with this power into 1 Ω.
+  const double a_los = std::sqrt(2.0 * dbm_to_watts(p_dbm));
+  std::vector<tag::IncidentPath> paths;
+  paths.push_back({a_los, 0.0, 0.0});
+  for (const auto& tap : config_.channel.taps) {
+    paths.push_back({a_los * db_to_amplitude(tap.relative_gain_db),
+                     tap.excess_delay_s, tap.phase_rad});
+  }
+  return paths;
+}
+
+double LinkSimulator::downlink_envelope_snr_db(double range_m) const {
+  // Tone amplitude of the LoS self-beat at the detector output.
+  const double p_dbm = downlink_power_at_tag_dbm(range_m);
+  const double a = std::sqrt(2.0 * dbm_to_watts(p_dbm)) *
+                   db_to_amplitude(-config_.tag.node.frontend.rf_switch.insertion_loss_db);
+  const double a_line = a / std::sqrt(2.0);
+  const rf::DelayLinePair line(config_.tag.node.frontend.delay_line);
+  const double long_scale = db_to_amplitude(
+      -line.insertion_loss_db(config_.radar.start_frequency_hz));
+  const double tone = config_.tag.node.frontend.envelope.conversion_gain * a_line *
+                      a_line * long_scale;
+  const double noise_rms =
+      config_.tag.node.frontend.envelope.output_noise_density *
+      std::sqrt(config_.tag.node.frontend.adc.sample_rate_hz / 2.0);
+  BIS_CHECK(noise_rms > 0.0);
+  return to_db((tone * tone / 2.0) / (noise_rms * noise_rms));
+}
+
+void LinkSimulator::calibrate_tag() {
+  const auto paths = incident_paths(config_.calibration_range_m);
+  tag_.calibrate(paths.front().amplitude_v);
+}
+
+DownlinkRunResult LinkSimulator::run_downlink(const phy::Bits& payload) {
+  const phy::DownlinkPacket packet(config_.packet, payload);
+  const auto frame = packet.to_frame(alphabet_);
+  const auto paths = incident_paths(config_.tag_range_m);
+  tag_.frontend().auto_gain(paths);
+
+  // Sequential downlink mode: the tag stays absorptive for the whole packet.
+  const std::vector<rf::ChirpParams>& chirps = frame.chirps();
+  std::unique_ptr<bool[]> flags(new bool[frame.size()]);
+  std::fill_n(flags.get(), frame.size(), true);
+  const dsp::RVec stream = tag_.frontend().receive_frame(
+      chirps, paths, std::span<const bool>(flags.get(), frame.size()));
+
+  auto reception = tag_.receive_downlink(stream, config_.packet);
+
+  DownlinkRunResult result;
+  result.decode = std::move(reception.decode);
+  result.parsed = std::move(reception.packet);
+  result.locked = result.decode.locked;
+  result.crc_ok = result.parsed.crc_ok;
+  result.address_match = result.parsed.address_match;
+
+  const auto& sent = packet.framed_bits();
+  result.bits_compared = sent.size();
+  if (!result.locked) {
+    result.bit_errors = sent.size();
+    return result;
+  }
+  const auto& rx = result.decode.bits;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    if (i >= rx.size() || rx[i] != sent[i]) ++result.bit_errors;
+  }
+  return result;
+}
+
+std::vector<radar::IfReturn> LinkSimulator::chirp_returns(
+    double tag_amplitude_factor) const {
+  std::vector<radar::IfReturn> returns;
+  returns.reserve(scene_.clutter.size() + 1);
+  for (const auto& c : scene_.clutter)
+    returns.push_back({c.range_m, c.amplitude_v, c.phase_rad});
+  if (scene_.has_tag && tag_amplitude_factor > 0.0) {
+    returns.push_back({scene_.tag_range_m,
+                       scene_.tag_amplitude_v * tag_amplitude_factor,
+                       scene_.tag_phase_rad});
+  }
+  return returns;
+}
+
+UplinkRunResult LinkSimulator::process_uplink_frame(
+    const std::vector<rf::ChirpParams>& chirps, const std::vector<int>& tag_states,
+    const phy::Bits& sent_bits, bool downlink_active) {
+  BIS_CHECK(chirps.size() == tag_states.size());
+
+  radar::IfSynthesizer synth(config_.radar.if_synth, rng_.fork());
+  const double reflect =
+      db_to_amplitude(-config_.tag.node.frontend.rf_switch.insertion_loss_db);
+  const double leak =
+      db_to_amplitude(-config_.tag.node.frontend.rf_switch.isolation_db);
+
+  std::vector<radar::RangeProfile> profiles;
+  profiles.reserve(chirps.size());
+  double mean_samples = 0.0;
+  for (std::size_t i = 0; i < chirps.size(); ++i) {
+    const double factor = tag_states[i] ? reflect : leak;
+    const auto returns = chirp_returns(factor);
+    const auto if_samples = synth.synthesize(chirps[i], returns);
+    mean_samples += static_cast<double>(if_samples.size());
+    profiles.push_back(range_processor_.process(if_samples, chirps[i],
+                                                config_.radar.if_synth.sample_rate_hz));
+  }
+  mean_samples /= static_cast<double>(chirps.size());
+
+  auto aligned = aligner_.align(profiles);
+  if (config_.use_background_subtraction) radar::subtract_background(aligned, 0);
+
+  const auto& ul = tag_.modulator().config();
+  radar::TagDetectorConfig det_cfg;
+  det_cfg.expected_mod_freq_hz = ul.mod_frequencies_hz.front();
+  if (ul.scheme == phy::UplinkScheme::kFsk)
+    det_cfg.candidate_mod_freqs_hz = ul.mod_frequencies_hz;
+  det_cfg.duty_cycle = ul.duty_cycle;
+  // FSK hops tones per symbol; integrate detection per block.
+  if (ul.scheme == phy::UplinkScheme::kFsk)
+    det_cfg.block_chirps = ul.chirps_per_symbol;
+  const radar::TagDetector detector(det_cfg);
+
+  UplinkRunResult result;
+  result.downlink_active = downlink_active;
+  result.detection = detector.detect(aligned);
+  result.snr_processed_db = result.detection.snr_db;
+  const double gain_db = 10.0 * std::log10(std::max(mean_samples, 1.0)) +
+                         10.0 * std::log10(static_cast<double>(chirps.size()));
+  result.snr_per_chirp_db = result.snr_processed_db - gain_db;
+
+  result.bits_compared = sent_bits.size();
+  if (!result.detection.found) {
+    result.bit_errors = sent_bits.size();
+    result.range_error_m = std::abs(result.detection.range_m - scene_.tag_range_m);
+    return result;
+  }
+  result.range_error_m = std::abs(result.detection.range_m - scene_.tag_range_m);
+
+  if (chirps.size() < ul.chirps_per_symbol) return result;  // frame too short
+  const radar::UplinkDecoder decoder(ul);
+  result.decode = decoder.decode(aligned, result.detection.grid_bin);
+  for (std::size_t i = 0; i < sent_bits.size(); ++i) {
+    if (i >= result.decode.bits.size() || result.decode.bits[i] != sent_bits[i])
+      ++result.bit_errors;
+  }
+  return result;
+}
+
+UplinkRunResult LinkSimulator::run_uplink(const phy::Bits& bits, bool downlink_active) {
+  const auto& ul = tag_.modulator().config();
+  const std::size_t bps = phy::uplink_bits_per_symbol(ul);
+  const std::size_t n_symbols = (bits.size() + bps - 1) / bps;
+  BIS_CHECK(n_symbols >= 1);
+  const std::size_t n_chirps = n_symbols * ul.chirps_per_symbol;
+
+  tag_.modulator().queue_bits(bits);
+  const auto states = tag_.modulator().next_states(n_chirps);
+
+  std::vector<rf::ChirpParams> chirps;
+  chirps.reserve(n_chirps);
+  const std::size_t fixed_slot = alphabet_.slot_for_data(alphabet_.data_symbol_count() / 2);
+  for (std::size_t i = 0; i < n_chirps; ++i) {
+    const std::size_t slot =
+        downlink_active
+            ? alphabet_.slot_for_data(rng_.uniform_index(alphabet_.data_symbol_count()))
+            : fixed_slot;
+    chirps.push_back(alphabet_.chirp(slot));
+  }
+  return process_uplink_frame(chirps, states, bits, downlink_active);
+}
+
+IsacRunResult LinkSimulator::run_integrated(const phy::Bits& downlink_payload,
+                                            const phy::Bits& uplink_bits) {
+  const phy::DownlinkPacket packet(config_.packet, downlink_payload);
+  const auto packet_slots = packet.to_slots(alphabet_);
+  const std::size_t preamble =
+      config_.packet.header_chirps + config_.packet.sync_chirps;
+
+  const auto& ul = tag_.modulator().config();
+  tag_.modulator().queue_bits(uplink_bits);
+
+  // Build the integrated schedule: the preamble occupies every chirp; each
+  // payload symbol goes out on the next chirp the tag will absorb (the radar
+  // assigned the modulation pattern, so it knows the schedule); reflective
+  // chirps repeat the previous slot as sensing filler the tag never sees.
+  std::vector<rf::ChirpParams> chirps;
+  std::vector<int> states;
+  std::size_t frame_start = 0;     // chirp index where the preamble begins
+  std::size_t emitted_preamble = 0;
+  std::size_t next_symbol = preamble;  // index into packet_slots
+  std::size_t last_slot = alphabet_.header_slot();
+  bool started = false;
+  while (!started || emitted_preamble < preamble ||
+         next_symbol < packet_slots.size()) {
+    const int state = tag_.modulator().next_states(1).front();
+    states.push_back(state);
+    std::size_t slot;
+    if (!started) {
+      // Delay the frame start until a chirp the tag will absorb, so the
+      // first header chirp is guaranteed visible (the tag's period-indexed
+      // framing anchors on it).
+      if (state == 0) {
+        started = true;
+        frame_start = chirps.size();
+        slot = packet_slots[emitted_preamble++];
+      } else {
+        slot = last_slot;  // pre-frame sensing chirp the tag won't see
+      }
+    } else if (emitted_preamble < preamble) {
+      slot = packet_slots[emitted_preamble++];
+    } else if (state == 0 && next_symbol < packet_slots.size()) {
+      slot = packet_slots[next_symbol++];
+    } else {
+      slot = last_slot;  // sensing filler on a reflective chirp
+    }
+    last_slot = slot;
+    chirps.push_back(alphabet_.chirp(slot));
+    BIS_CHECK_MSG(chirps.size() < 100000, "integrated schedule failed to place payload");
+  }
+  (void)frame_start;
+
+  // --- Tag side: decode the downlink from the absorptive chirps. ---
+  const auto paths = incident_paths(config_.tag_range_m);
+  tag_.frontend().auto_gain(paths);
+  std::unique_ptr<bool[]> flags(new bool[chirps.size()]);
+  for (std::size_t i = 0; i < chirps.size(); ++i) flags[i] = states[i] == 0;
+  const auto stream = tag_.frontend().receive_frame(
+      chirps, paths, std::span<const bool>(flags.get(), chirps.size()));
+  const std::vector<bool> mask(flags.get(), flags.get() + chirps.size());
+  auto reception = tag_.receive_downlink(stream, config_.packet, mask);
+
+  IsacRunResult result;
+  result.downlink.decode = std::move(reception.decode);
+  result.downlink.parsed = std::move(reception.packet);
+  result.downlink.locked = result.downlink.decode.locked;
+  result.downlink.crc_ok = result.downlink.parsed.crc_ok;
+  result.downlink.address_match = result.downlink.parsed.address_match;
+  const auto& sent = packet.framed_bits();
+  result.downlink.bits_compared = sent.size();
+  if (result.downlink.locked) {
+    const auto& rx = result.downlink.decode.bits;
+    for (std::size_t i = 0; i < sent.size(); ++i)
+      if (i >= rx.size() || rx[i] != sent[i]) ++result.downlink.bit_errors;
+  } else {
+    result.downlink.bit_errors = sent.size();
+  }
+
+  // --- Radar side: sensing + uplink decoding over the same frame. ---
+  const std::size_t block = ul.chirps_per_symbol;
+  const std::size_t usable_symbols = chirps.size() / block;
+  const std::size_t bps = phy::uplink_bits_per_symbol(ul);
+  phy::Bits comparable(
+      uplink_bits.begin(),
+      uplink_bits.begin() +
+          static_cast<long>(std::min(uplink_bits.size(), usable_symbols * bps)));
+  result.uplink = process_uplink_frame(chirps, states, comparable,
+                                       /*downlink_active=*/true);
+  return result;
+}
+
+}  // namespace bis::core

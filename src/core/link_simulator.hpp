@@ -1,0 +1,117 @@
+#pragma once
+
+/// @file link_simulator.hpp
+/// End-to-end BiScatter link simulation: radar ⇄ channel ⇄ tag. This is the
+/// main experiment engine behind every evaluation figure:
+///   - run_downlink: radar packet → CSSK frame → propagation → tag frontend
+///     → tag decoder → bits (Figs. 12, 13, 14, 17);
+///   - run_uplink: tag modulation → backscatter → radar IF → range
+///     processing → IF correction → detection/localization → uplink bits
+///     (Figs. 15, 16);
+///   - run_integrated: both in one frame under the ISAC schedule — the
+///     radar, which assigned the tag's modulation pattern, places downlink
+///     symbols on chirps the tag will absorb, so two-way communication and
+///     sensing share every frame (paper §3.3).
+
+#include <memory>
+
+#include "core/system_config.hpp"
+#include "phy/ber.hpp"
+#include "radar/if_synthesizer.hpp"
+#include "radar/range_align.hpp"
+#include "radar/range_processor.hpp"
+#include "radar/scene.hpp"
+#include "radar/tag_detector.hpp"
+#include "radar/uplink_decoder.hpp"
+#include "tag/tag_node.hpp"
+
+namespace bis::core {
+
+struct DownlinkRunResult {
+  bool locked = false;     ///< Tag found the preamble.
+  bool crc_ok = false;     ///< Parsed packet passed CRC.
+  bool address_match = false;
+  std::size_t bit_errors = 0;     ///< Raw framed-bit errors (lost packet =
+                                  ///< every bit counted).
+  std::size_t bits_compared = 0;
+  tag::DownlinkDecodeResult decode;
+  phy::ParsedPacket parsed;
+};
+
+struct UplinkRunResult {
+  radar::TagDetection detection;
+  radar::UplinkDecodeResult decode;
+  std::size_t bit_errors = 0;
+  std::size_t bits_compared = 0;
+  double range_error_m = 0.0;       ///< |estimated − true| when detected.
+  double snr_processed_db = 0.0;    ///< Detector SNR (incl. processing gain).
+  double snr_per_chirp_db = 0.0;    ///< Processed SNR minus FFT gains — the
+                                    ///< quantity comparable to Fig. 15.
+  bool downlink_active = false;     ///< CSSK slope variation was on.
+};
+
+struct IsacRunResult {
+  DownlinkRunResult downlink;
+  UplinkRunResult uplink;
+};
+
+class LinkSimulator {
+ public:
+  explicit LinkSimulator(const SystemConfig& config);
+
+  /// One-time tag calibration at config.calibration_range_m (paper §5).
+  void calibrate_tag();
+
+  /// Send one downlink packet (tag absorptive throughout — the sequential
+  /// downlink mode).
+  DownlinkRunResult run_downlink(const phy::Bits& payload);
+
+  /// Send uplink bits across one frame while the radar senses. When
+  /// @p downlink_active, the radar simultaneously varies chirp slopes
+  /// (random payload), exercising the IF-correction path (Fig. 16's
+  /// "during communication" condition).
+  UplinkRunResult run_uplink(const phy::Bits& bits, bool downlink_active);
+
+  /// Fully integrated frame: downlink packet + uplink bits + localization.
+  IsacRunResult run_integrated(const phy::Bits& downlink_payload,
+                               const phy::Bits& uplink_bits);
+
+  // ---- Analytic link quantities (benchmark axes) ----
+
+  /// One-way received power at the tag decoder input [dBm].
+  double downlink_power_at_tag_dbm(double range_m) const;
+
+  /// Per-sample tone SNR at the envelope-detector output [dB] — the
+  /// "equivalent SNR" axis of Figs. 13/14/17.
+  double downlink_envelope_snr_db(double range_m) const;
+
+  /// Two-way backscatter power at the radar RX [dBm].
+  double uplink_power_at_radar_dbm(double range_m) const;
+
+  const phy::SlopeAlphabet& alphabet() const { return alphabet_; }
+  tag::TagNode& tag_node() { return tag_; }
+  const SystemConfig& config() const { return config_; }
+
+  /// Incident multipath set at the tag for a given range (LoS + channel
+  /// taps), in frontend units.
+  std::vector<tag::IncidentPath> incident_paths(double range_m) const;
+
+ private:
+  /// IF returns for one chirp given the tag's reflective amplitude factor.
+  std::vector<radar::IfReturn> chirp_returns(double tag_amplitude_factor) const;
+
+  UplinkRunResult process_uplink_frame(const std::vector<rf::ChirpParams>& chirps,
+                                       const std::vector<int>& tag_states,
+                                       const phy::Bits& sent_bits,
+                                       bool downlink_active);
+
+  SystemConfig config_;
+  phy::SlopeAlphabet alphabet_;
+  Rng rng_;
+  tag::TagNode tag_;
+  radar::Scene scene_;
+  radar::RangeProcessor range_processor_;
+  radar::RangeAligner aligner_;
+};
+
+}  // namespace bis::core

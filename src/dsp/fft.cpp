@@ -1,0 +1,143 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+
+namespace bis::dsp {
+namespace {
+
+/// In-place radix-2 Cooley–Tukey. x.size() must be a power of two.
+void fft_radix2_inplace(CVec& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 1.0 : -1.0) * kTwoPi / static_cast<double>(len);
+    const cdouble wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      cdouble w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cdouble u = x[i + k];
+        const cdouble v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+/// Bluestein chirp-z transform for arbitrary n, expressed via power-of-two
+/// convolution.
+CVec fft_bluestein(std::span<const cdouble> x, bool inverse) {
+  const std::size_t n = x.size();
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp factors c[k] = exp(sign * jπ k² / n). Use k² mod 2n to keep the
+  // argument small and the twiddles exact for large k.
+  CVec chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint64_t k2 = (static_cast<std::uint64_t>(k) * k) % (2 * n);
+    const double angle = sign * kPi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = cdouble(std::cos(angle), std::sin(angle));
+  }
+
+  const std::size_t m = next_power_of_two(2 * n - 1);
+  CVec a(m, cdouble(0.0, 0.0));
+  CVec b(m, cdouble(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
+  for (std::size_t k = 0; k < n; ++k) {
+    const cdouble c = std::conj(chirp[k]);
+    b[k] = c;
+    if (k != 0) b[m - k] = c;
+  }
+
+  fft_radix2_inplace(a, /*inverse=*/false);
+  fft_radix2_inplace(b, /*inverse=*/false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_radix2_inplace(a, /*inverse=*/true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+
+  CVec out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * inv_m * chirp[k];
+  return out;
+}
+
+CVec transform(std::span<const cdouble> x, bool inverse) {
+  const std::size_t n = x.size();
+  if (n == 0) return {};
+  CVec out;
+  if (is_power_of_two(n)) {
+    out.assign(x.begin(), x.end());
+    fft_radix2_inplace(out, inverse);
+  } else {
+    out = fft_bluestein(x, inverse);
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : out) v *= inv_n;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+CVec fft(std::span<const cdouble> x) { return transform(x, /*inverse=*/false); }
+
+CVec ifft(std::span<const cdouble> x) { return transform(x, /*inverse=*/true); }
+
+CVec fft_real(std::span<const double> x) {
+  CVec cx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = cdouble(x[i], 0.0);
+  return fft(cx);
+}
+
+CVec fft_padded(std::span<const cdouble> x, std::size_t n_fft) {
+  BIS_CHECK(n_fft > 0);
+  CVec cx(n_fft, cdouble(0.0, 0.0));
+  const std::size_t n = std::min(x.size(), n_fft);
+  for (std::size_t i = 0; i < n; ++i) cx[i] = x[i];
+  return fft(cx);
+}
+
+CVec fft_real_padded(std::span<const double> x, std::size_t n_fft) {
+  BIS_CHECK(n_fft > 0);
+  CVec cx(n_fft, cdouble(0.0, 0.0));
+  const std::size_t n = std::min(x.size(), n_fft);
+  for (std::size_t i = 0; i < n; ++i) cx[i] = cdouble(x[i], 0.0);
+  return fft(cx);
+}
+
+double fft_bin_frequency(std::size_t k, std::size_t n, double fs) {
+  BIS_CHECK(n > 0 && k < n);
+  const auto half = n / 2;
+  const double bin = k < half || n == 1
+                         ? static_cast<double>(k)
+                         : static_cast<double>(k) - static_cast<double>(n);
+  return bin * fs / static_cast<double>(n);
+}
+
+double fft_bin_frequency_unsigned(std::size_t k, std::size_t n, double fs) {
+  BIS_CHECK(n > 0 && k < n);
+  return static_cast<double>(k) * fs / static_cast<double>(n);
+}
+
+}  // namespace bis::dsp

@@ -1,0 +1,44 @@
+#pragma once
+
+/// @file fft.hpp
+/// Fast Fourier Transform. Radix-2 iterative Cooley–Tukey for power-of-two
+/// lengths plus Bluestein's chirp-z algorithm for arbitrary lengths, so the
+/// radar pipeline can transform chirps whose sample counts vary with CSSK
+/// chirp duration without zero-padding surprises.
+///
+/// Convention: forward transform X[k] = Σ_n x[n]·exp(-j2πkn/N), no scaling;
+/// the inverse applies the 1/N factor.
+
+#include <span>
+
+#include "dsp/types.hpp"
+
+namespace bis::dsp {
+
+/// True when n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+/// Forward FFT of arbitrary length (radix-2 when possible, else Bluestein).
+CVec fft(std::span<const cdouble> x);
+
+/// Inverse FFT (includes the 1/N normalization).
+CVec ifft(std::span<const cdouble> x);
+
+/// Forward FFT of a real signal; returns the full N-point complex spectrum.
+CVec fft_real(std::span<const double> x);
+
+/// Forward FFT zero-padded (or truncated) to @p n_fft points.
+CVec fft_padded(std::span<const cdouble> x, std::size_t n_fft);
+CVec fft_real_padded(std::span<const double> x, std::size_t n_fft);
+
+/// Frequency of FFT bin @p k for sample rate @p fs and size @p n,
+/// mapped to [-fs/2, fs/2).
+double fft_bin_frequency(std::size_t k, std::size_t n, double fs);
+
+/// Frequency of bin k treating the spectrum as one-sided [0, fs).
+double fft_bin_frequency_unsigned(std::size_t k, std::size_t n, double fs);
+
+}  // namespace bis::dsp

@@ -1,0 +1,37 @@
+#pragma once
+
+/// @file matched_filter.hpp
+/// Matched filtering / correlation. The radar identifies a tag by correlating
+/// the slow-time spectrum at each range bin against the expected signature of
+/// the tag's square-wave modulation (paper §3.3: the second FFT turns the
+/// tag's on/off switching into a sinc-like comb at the modulation frequency
+/// and its odd harmonics, following Millimetro).
+
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace bis::dsp {
+
+/// Normalized cross-correlation (cosine similarity) of two equal-length
+/// real vectors; returns 0 when either vector has zero energy.
+double normalized_correlation(std::span<const double> a, std::span<const double> b);
+
+/// Full cross-correlation of x with template h (lengths Nx and Nh) at all
+/// integer lags in [-(Nh-1), Nx-1]. out[i] corresponds to lag i-(Nh-1).
+std::vector<double> cross_correlate(std::span<const double> x, std::span<const double> h);
+
+/// Expected one-sided slow-time magnitude spectrum of an on/off square wave
+/// at @p mod_freq with @p duty cycle, observed over @p n_chirps chirps spaced
+/// @p chirp_period apart, evaluated on an n_fft-point grid (one-sided,
+/// n_fft/2+1 entries). Includes the odd-harmonic comb of the square wave.
+std::vector<double> square_wave_signature(double mod_freq, double duty,
+                                          std::size_t n_chirps, double chirp_period,
+                                          std::size_t n_fft, std::size_t n_harmonics = 3);
+
+/// Score how well the one-sided spectrum @p spectrum matches the square-wave
+/// signature at @p mod_freq (normalized correlation over signature support).
+double signature_score(std::span<const double> spectrum, std::span<const double> signature);
+
+}  // namespace bis::dsp

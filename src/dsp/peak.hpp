@@ -1,0 +1,44 @@
+#pragma once
+
+/// @file peak.hpp
+/// Peak detection and sub-bin refinement. Centimetre-level localization
+/// (paper §5.2) requires interpolating the range-FFT peak between bins;
+/// tag symbol decoding requires robust argmax with leakage-aware spacing.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bis::dsp {
+
+struct Peak {
+  std::size_t index = 0;     ///< Bin index of the local maximum.
+  double refined_index = 0;  ///< Sub-bin position after parabolic interpolation.
+  double value = 0;          ///< Magnitude at the (integer) peak.
+};
+
+/// Index of the global maximum. Requires non-empty input.
+std::size_t argmax(std::span<const double> xs);
+
+/// Parabolic (quadratic) interpolation of a peak at integer index @p k using
+/// its two neighbours; returns the refined fractional index. Falls back to
+/// the integer index at the edges or for degenerate neighbourhoods.
+double parabolic_refine(std::span<const double> xs, std::size_t k);
+
+/// Global maximum with sub-bin refinement.
+Peak find_peak(std::span<const double> xs);
+
+/// All local maxima above @p threshold, at least @p min_distance bins apart,
+/// sorted by descending value.
+std::vector<Peak> find_peaks(std::span<const double> xs, double threshold,
+                             std::size_t min_distance = 1);
+
+/// 1-D cell-averaging CFAR: returns indices whose value exceeds the local
+/// noise estimate (mean of training cells excluding guard cells) by
+/// @p threshold_factor. Used to separate tag/target returns from clutter.
+std::vector<std::size_t> cfar_detect(std::span<const double> power,
+                                     std::size_t guard_cells,
+                                     std::size_t training_cells,
+                                     double threshold_factor);
+
+}  // namespace bis::dsp

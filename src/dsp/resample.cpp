@@ -1,0 +1,89 @@
+#include "dsp/resample.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace bis::dsp {
+namespace {
+
+/// Index of the interval [x[i], x[i+1]] containing xq (clamped).
+std::size_t find_interval(std::span<const double> x, double xq) {
+  if (xq <= x.front()) return 0;
+  if (xq >= x.back()) return x.size() - 2;
+  const auto it = std::upper_bound(x.begin(), x.end(), xq);
+  return static_cast<std::size_t>(std::distance(x.begin(), it)) - 1;
+}
+
+}  // namespace
+
+double interp_linear(std::span<const double> x, std::span<const double> y, double xq) {
+  BIS_CHECK(x.size() == y.size());
+  BIS_CHECK(x.size() >= 2);
+  if (xq <= x.front()) return y.front();
+  if (xq >= x.back()) return y.back();
+  const std::size_t i = find_interval(x, xq);
+  const double t = (xq - x[i]) / (x[i + 1] - x[i]);
+  return y[i] * (1.0 - t) + y[i + 1] * t;
+}
+
+std::vector<double> regrid_linear(std::span<const double> x, std::span<const double> y,
+                                  std::span<const double> xq) {
+  std::vector<double> out(xq.size());
+  for (std::size_t i = 0; i < xq.size(); ++i) out[i] = interp_linear(x, y, xq[i]);
+  return out;
+}
+
+CVec regrid_linear(std::span<const double> x, std::span<const cdouble> y,
+                   std::span<const double> xq) {
+  BIS_CHECK(x.size() == y.size());
+  BIS_CHECK(x.size() >= 2);
+  CVec out(xq.size());
+  for (std::size_t q = 0; q < xq.size(); ++q) {
+    const double v = xq[q];
+    if (v <= x.front()) {
+      out[q] = y.front();
+      continue;
+    }
+    if (v >= x.back()) {
+      out[q] = y.back();
+      continue;
+    }
+    const std::size_t i = find_interval(x, v);
+    const double t = (v - x[i]) / (x[i + 1] - x[i]);
+    out[q] = y[i] * (1.0 - t) + y[i + 1] * t;
+  }
+  return out;
+}
+
+double interp_cubic_uniform(std::span<const double> y, double x0, double dx, double xq) {
+  BIS_CHECK(y.size() >= 2);
+  BIS_CHECK(dx > 0.0);
+  const double pos = (xq - x0) / dx;
+  if (pos <= 0.0) return y.front();
+  if (pos >= static_cast<double>(y.size() - 1)) return y.back();
+  const auto i = static_cast<std::size_t>(pos);
+  const double t = pos - static_cast<double>(i);
+  const auto at = [&](long long idx) {
+    idx = std::clamp<long long>(idx, 0, static_cast<long long>(y.size()) - 1);
+    return y[static_cast<std::size_t>(idx)];
+  };
+  const double p0 = at(static_cast<long long>(i) - 1);
+  const double p1 = at(static_cast<long long>(i));
+  const double p2 = at(static_cast<long long>(i) + 1);
+  const double p3 = at(static_cast<long long>(i) + 2);
+  // Catmull–Rom spline.
+  return 0.5 * ((2.0 * p1) + (-p0 + p2) * t + (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3) * t * t +
+                (-p0 + 3.0 * p1 - 3.0 * p2 + p3) * t * t * t);
+}
+
+std::vector<double> linspace(double start, double stop, std::size_t n) {
+  BIS_CHECK(n >= 2);
+  std::vector<double> out(n);
+  const double step = (stop - start) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = start + step * static_cast<double>(i);
+  return out;
+}
+
+}  // namespace bis::dsp

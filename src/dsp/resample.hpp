@@ -1,0 +1,35 @@
+#pragma once
+
+/// @file resample.hpp
+/// Interpolation and regridding. BiScatter's IF-correction step (paper §3.3,
+/// Eq. 15) rescales each chirp's range profile — whose bin spacing depends on
+/// that chirp's slope — onto a common range grid using pairwise interpolation
+/// between FFT bins. These are the primitives it uses.
+
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace bis::dsp {
+
+/// Linear interpolation of tabulated (x, y) at query point @p xq.
+/// x must be strictly increasing. Clamps outside the table.
+double interp_linear(std::span<const double> x, std::span<const double> y, double xq);
+
+/// Vectorized linear regrid: evaluate (x, y) at every point of @p xq.
+std::vector<double> regrid_linear(std::span<const double> x, std::span<const double> y,
+                                  std::span<const double> xq);
+
+/// Complex-valued linear regrid (interpolates real and imaginary parts).
+CVec regrid_linear(std::span<const double> x, std::span<const cdouble> y,
+                   std::span<const double> xq);
+
+/// Catmull–Rom cubic interpolation at @p xq over a uniform grid with spacing
+/// @p dx starting at @p x0. Clamps outside the grid.
+double interp_cubic_uniform(std::span<const double> y, double x0, double dx, double xq);
+
+/// Evenly spaced grid [start, stop] with n points (n >= 2).
+std::vector<double> linspace(double start, double stop, std::size_t n);
+
+}  // namespace bis::dsp

@@ -1,0 +1,87 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/peak.hpp"
+
+namespace bis::dsp {
+
+RVec periodogram(std::span<const double> x, std::size_t n_fft, WindowType window) {
+  BIS_CHECK(!x.empty());
+  BIS_CHECK(n_fft >= x.size());
+  const auto w = make_window(window, x.size());
+  const auto xw = apply_window(x, w);
+  const auto spec = fft_real_padded(xw, n_fft);
+  const double norm = window_sum(w);
+  BIS_CHECK(norm > 0.0);
+  RVec out(n_fft / 2 + 1);
+  for (std::size_t k = 0; k < out.size(); ++k)
+    out[k] = std::norm(spec[k]) / (norm * norm);
+  return out;
+}
+
+RVec welch(std::span<const double> x, std::size_t segment_len, std::size_t n_fft,
+           WindowType window) {
+  BIS_CHECK(segment_len > 0);
+  BIS_CHECK(x.size() >= segment_len);
+  const std::size_t hop = std::max<std::size_t>(1, segment_len / 2);
+  RVec acc(n_fft / 2 + 1, 0.0);
+  std::size_t count = 0;
+  for (std::size_t start = 0; start + segment_len <= x.size(); start += hop) {
+    const auto seg = x.subspan(start, segment_len);
+    const auto p = periodogram(seg, n_fft, window);
+    for (std::size_t k = 0; k < acc.size(); ++k) acc[k] += p[k];
+    ++count;
+  }
+  BIS_CHECK(count > 0);
+  for (double& v : acc) v /= static_cast<double>(count);
+  return acc;
+}
+
+Spectrogram spectrogram(std::span<const double> x, double fs, std::size_t window_len,
+                        std::size_t hop, std::size_t n_fft, WindowType window) {
+  BIS_CHECK(fs > 0.0);
+  BIS_CHECK(window_len > 0 && hop > 0);
+  BIS_CHECK(n_fft >= window_len);
+  Spectrogram sg;
+  sg.frame_interval_s = static_cast<double>(hop) / fs;
+  sg.bin_hz = fs / static_cast<double>(n_fft);
+  for (std::size_t start = 0; start + window_len <= x.size(); start += hop)
+    sg.frames.push_back(periodogram(x.subspan(start, window_len), n_fft, window));
+  return sg;
+}
+
+double estimate_tone_frequency(std::span<const double> x, double fs, double f_lo,
+                               double f_hi, std::size_t min_n_fft) {
+  BIS_CHECK(fs > 0.0);
+  BIS_CHECK(f_lo >= 0.0 && f_hi > f_lo);
+  if (x.empty()) return 0.0;
+  const std::size_t n_fft = std::max(min_n_fft, next_power_of_two(x.size()) * 4);
+  const auto p = periodogram(x, n_fft, WindowType::kHann);
+  const double bin_hz = fs / static_cast<double>(n_fft);
+  const auto lo = static_cast<std::size_t>(std::ceil(f_lo / bin_hz));
+  const auto hi = std::min(static_cast<std::size_t>(std::floor(f_hi / bin_hz)),
+                           p.size() - 1);
+  if (lo >= hi) return 0.0;
+  const std::span<const double> band(p.data() + lo, hi - lo + 1);
+  const Peak peak = find_peak(band);
+  return (static_cast<double>(lo) + peak.refined_index) * bin_hz;
+}
+
+double band_power(std::span<const double> x, double fs, double f_lo, double f_hi,
+                  std::size_t n_fft) {
+  BIS_CHECK(fs > 0.0 && f_hi > f_lo);
+  const auto p = periodogram(x, n_fft, WindowType::kHann);
+  const double bin_hz = fs / static_cast<double>(n_fft);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    const double f = static_cast<double>(k) * bin_hz;
+    if (f >= f_lo && f <= f_hi) sum += p[k];
+  }
+  return sum;
+}
+
+}  // namespace bis::dsp

@@ -1,0 +1,182 @@
+#include "dsp/tone_fit.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+
+namespace bis::dsp {
+namespace {
+
+/// Solve the symmetric 3×3 system G·θ = b by Cramer's rule and return the
+/// explained energy bᵀθ. Returns 0 for a singular system.
+double explained_energy(const double g[3][3], const double b[3]) {
+  const double det = g[0][0] * (g[1][1] * g[2][2] - g[1][2] * g[2][1]) -
+                     g[0][1] * (g[1][0] * g[2][2] - g[1][2] * g[2][0]) +
+                     g[0][2] * (g[1][0] * g[2][1] - g[1][1] * g[2][0]);
+  if (std::abs(det) < 1e-30) return 0.0;
+  const double inv_det = 1.0 / det;
+  double theta[3];
+  for (int i = 0; i < 3; ++i) {
+    double m[3][3];
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) m[r][c] = g[r][c];
+    for (int r = 0; r < 3; ++r) m[r][i] = b[r];
+    const double det_i = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+                         m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+                         m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    theta[i] = det_i * inv_det;
+  }
+  return b[0] * theta[0] + b[1] * theta[1] + b[2] * theta[2];
+}
+
+}  // namespace
+
+double tone_glrt_score(std::span<const double> x, double freq, double fs,
+                       std::span<const double> weights) {
+  BIS_CHECK(fs > 0.0);
+  BIS_CHECK(freq > 0.0 && freq < fs / 2.0);
+  BIS_CHECK(weights.empty() || weights.size() == x.size());
+  const std::size_t n = x.size();
+  if (n < 4) return 0.0;
+
+  // Weighted design matrix columns: c = w·cos, s = w·sin, u = w·1; the
+  // observation is w·x. Gram matrix and right-hand side accumulate in one
+  // pass.
+  const double omega = kTwoPi * freq / fs;
+  double g[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  double b[3] = {0, 0, 0};
+  double uu = 0.0;
+  double ux = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    const double c = w * std::cos(omega * static_cast<double>(i));
+    const double s = w * std::sin(omega * static_cast<double>(i));
+    const double u = w;
+    const double xv = w * x[i];
+    g[0][0] += c * c;
+    g[0][1] += c * s;
+    g[0][2] += c * u;
+    g[1][1] += s * s;
+    g[1][2] += s * u;
+    g[2][2] += u * u;
+    b[0] += c * xv;
+    b[1] += s * xv;
+    b[2] += u * xv;
+    uu += u * u;
+    ux += u * xv;
+  }
+  g[1][0] = g[0][1];
+  g[2][0] = g[0][2];
+  g[2][1] = g[1][2];
+
+  const double full = explained_energy(g, b);
+  const double dc_only = uu > 0.0 ? ux * ux / uu : 0.0;
+  return std::max(0.0, full - dc_only);
+}
+
+std::vector<double> tone_glrt_scores(std::span<const double> x,
+                                     std::span<const double> freqs, double fs,
+                                     std::span<const double> weights) {
+  std::vector<double> out(freqs.size());
+  for (std::size_t i = 0; i < freqs.size(); ++i)
+    out[i] = tone_glrt_score(x, freqs[i], fs, weights);
+  return out;
+}
+
+ToneFit tone_fit(std::span<const double> x, double freq, double fs,
+                 std::span<const double> weights) {
+  BIS_CHECK(fs > 0.0);
+  BIS_CHECK(freq > 0.0 && freq < fs / 2.0);
+  BIS_CHECK(weights.empty() || weights.size() == x.size());
+  ToneFit fit;
+  const std::size_t n = x.size();
+  if (n < 4) return fit;
+
+  const double omega = kTwoPi * freq / fs;
+  double g[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  double b[3] = {0, 0, 0};
+  double uu = 0.0, ux = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    const double c = w * std::cos(omega * static_cast<double>(i));
+    const double s = w * std::sin(omega * static_cast<double>(i));
+    const double u = w;
+    const double xv = w * x[i];
+    g[0][0] += c * c;
+    g[0][1] += c * s;
+    g[0][2] += c * u;
+    g[1][1] += s * s;
+    g[1][2] += s * u;
+    g[2][2] += u * u;
+    b[0] += c * xv;
+    b[1] += s * xv;
+    b[2] += u * xv;
+    uu += u * u;
+    ux += u * xv;
+  }
+  g[1][0] = g[0][1];
+  g[2][0] = g[0][2];
+  g[2][1] = g[1][2];
+
+  // Solve for the coefficients (Cramer, as in explained_energy but keeping θ).
+  const double det = g[0][0] * (g[1][1] * g[2][2] - g[1][2] * g[2][1]) -
+                     g[0][1] * (g[1][0] * g[2][2] - g[1][2] * g[2][0]) +
+                     g[0][2] * (g[1][0] * g[2][1] - g[1][1] * g[2][0]);
+  if (std::abs(det) < 1e-30) return fit;
+  const double inv_det = 1.0 / det;
+  double theta[3];
+  for (int i = 0; i < 3; ++i) {
+    double m[3][3];
+    for (int r = 0; r < 3; ++r)
+      for (int c2 = 0; c2 < 3; ++c2) m[r][c2] = g[r][c2];
+    for (int r = 0; r < 3; ++r) m[r][i] = b[r];
+    const double det_i = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+                         m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+                         m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    theta[i] = det_i * inv_det;
+  }
+  fit.a = theta[0];
+  fit.b = theta[1];
+  fit.dc = theta[2];
+  const double full = b[0] * theta[0] + b[1] * theta[1] + b[2] * theta[2];
+  const double dc_only = uu > 0.0 ? ux * ux / uu : 0.0;
+  fit.score = std::max(0.0, full - dc_only);
+  // a·cos(ωn) + b·sin(ωn) = A·cos(ωn + φ) with φ = atan2(−b, a).
+  fit.phase_rad = std::atan2(-fit.b, fit.a);
+  return fit;
+}
+
+double tone_known_phase_score(std::span<const double> x, double freq,
+                              double phase_rad, double fs,
+                              std::span<const double> weights) {
+  BIS_CHECK(fs > 0.0);
+  BIS_CHECK(freq > 0.0 && freq < fs / 2.0);
+  BIS_CHECK(weights.empty() || weights.size() == x.size());
+  const std::size_t n = x.size();
+  if (n < 4) return 0.0;
+
+  // 2×2 LS: columns t[n] = w·cos(ωn + φ) and u[n] = w.
+  const double omega = kTwoPi * freq / fs;
+  double tt = 0.0, tu = 0.0, uu = 0.0, tx = 0.0, ux = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    const double t = w * std::cos(omega * static_cast<double>(i) + phase_rad);
+    const double u = w;
+    const double xv = w * x[i];
+    tt += t * t;
+    tu += t * u;
+    uu += u * u;
+    tx += t * xv;
+    ux += u * xv;
+  }
+  const double det = tt * uu - tu * tu;
+  if (std::abs(det) < 1e-30 || uu <= 0.0) return 0.0;
+  const double a = (tx * uu - ux * tu) / det;
+  const double d = (ux * tt - tx * tu) / det;
+  const double full = a * tx + d * ux;
+  const double dc_only = ux * ux / uu;
+  return std::max(0.0, full - dc_only);
+}
+
+}  // namespace bis::dsp

@@ -1,0 +1,51 @@
+#pragma once
+
+/// @file tone_fit.hpp
+/// Least-squares tone scoring with a DC nuisance parameter. The tag decoder
+/// must estimate a beat frequency from windows that may contain only one or
+/// two tone cycles riding on a large square-law DC pedestal (Eq. 11's
+/// cycles-per-chirp figure B·ΔL/(k·c) is ≈1.4 for the paper's 250 MHz
+/// configuration). In that regime plain mean-removal followed by a DFT bin
+/// is useless — the DC and tone subspaces overlap — so we fit the model
+///   x[n] ≈ a·cos(2πfn/fs) + b·sin(2πfn/fs) + d
+/// by (optionally Hann-weighted) least squares and score the energy the
+/// tone terms explain beyond the DC-only fit. This reduces to the Goertzel
+/// power at high cycle counts and stays well-behaved down to ~1 cycle.
+
+#include <span>
+#include <vector>
+
+namespace bis::dsp {
+
+/// Tone-explained energy at frequency @p freq (Hz) for sample rate @p fs,
+/// with DC treated as a nuisance parameter. @p weights must be empty (no
+/// weighting) or the same length as @p x.
+double tone_glrt_score(std::span<const double> x, double freq, double fs,
+                       std::span<const double> weights = {});
+
+/// Evaluate the GLRT score for several frequencies over one window.
+std::vector<double> tone_glrt_scores(std::span<const double> x,
+                                     std::span<const double> freqs, double fs,
+                                     std::span<const double> weights = {});
+
+/// Full fit result: x[n] ≈ a·cos(ωn) + b·sin(ωn) + dc.
+struct ToneFit {
+  double a = 0.0;
+  double b = 0.0;
+  double dc = 0.0;
+  double score = 0.0;      ///< Tone-explained energy beyond the DC-only fit.
+  double phase_rad = 0.0;  ///< Phase of a·cos + b·sin as cos(ωn + φ).
+};
+
+ToneFit tone_fit(std::span<const double> x, double freq, double fs,
+                 std::span<const double> weights = {});
+
+/// Known-phase variant: fit x[n] ≈ a·cos(ωn + φ) + dc with a free (signed)
+/// amplitude and return the tone-explained energy. When the expected phase
+/// is known from calibration this discriminates tones even at ~1 cycle per
+/// window, where the phase-free GLRT profiles of nearby slots overlap.
+double tone_known_phase_score(std::span<const double> x, double freq,
+                              double phase_rad, double fs,
+                              std::span<const double> weights = {});
+
+}  // namespace bis::dsp

@@ -1,0 +1,32 @@
+#pragma once
+
+/// @file types.hpp
+/// Shared DSP type aliases and small vector helpers.
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace bis::dsp {
+
+using cdouble = std::complex<double>;
+using CVec = std::vector<cdouble>;
+using RVec = std::vector<double>;
+
+/// Element-wise magnitude of a complex vector.
+RVec magnitude(std::span<const cdouble> xs);
+
+/// Element-wise squared magnitude (power) of a complex vector.
+RVec power(std::span<const cdouble> xs);
+
+/// Element-wise magnitude in dB (20·log10|x|), clamped at @p floor_db.
+RVec magnitude_db(std::span<const cdouble> xs, double floor_db = -300.0);
+
+/// Sum of squared magnitudes.
+double energy(std::span<const cdouble> xs);
+double energy(std::span<const double> xs);
+
+/// Remove the mean from a real signal (DC blocking used by the tag decoder).
+RVec remove_dc(std::span<const double> xs);
+
+}  // namespace bis::dsp

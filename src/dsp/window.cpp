@@ -1,0 +1,110 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+
+namespace bis::dsp {
+
+double bessel_i0(double x) {
+  // Power series; converges quickly for the beta range used in practice.
+  const double half_x = x / 2.0;
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k <= 60; ++k) {
+    term *= (half_x / k) * (half_x / k);
+    sum += term;
+    if (term < 1e-18 * sum) break;
+  }
+  return sum;
+}
+
+std::vector<double> make_window(WindowType type, std::size_t n, double kaiser_beta) {
+  BIS_CHECK(n > 0);
+  std::vector<double> w(n, 1.0);
+  if (n == 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  switch (type) {
+    case WindowType::kRectangular:
+      break;
+    case WindowType::kHann:
+      for (std::size_t i = 0; i < n; ++i)
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * static_cast<double>(i) / denom);
+      break;
+    case WindowType::kHamming:
+      for (std::size_t i = 0; i < n; ++i)
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * static_cast<double>(i) / denom);
+      break;
+    case WindowType::kBlackman:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = kTwoPi * static_cast<double>(i) / denom;
+        w[i] = 0.42 - 0.5 * std::cos(t) + 0.08 * std::cos(2.0 * t);
+      }
+      break;
+    case WindowType::kBlackmanHarris:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = kTwoPi * static_cast<double>(i) / denom;
+        w[i] = 0.35875 - 0.48829 * std::cos(t) + 0.14128 * std::cos(2.0 * t) -
+               0.01168 * std::cos(3.0 * t);
+      }
+      break;
+    case WindowType::kKaiser: {
+      BIS_CHECK(kaiser_beta >= 0.0);
+      const double i0_beta = bessel_i0(kaiser_beta);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r = 2.0 * static_cast<double>(i) / denom - 1.0;
+        w[i] = bessel_i0(kaiser_beta * std::sqrt(std::max(0.0, 1.0 - r * r))) / i0_beta;
+      }
+      break;
+    }
+  }
+  return w;
+}
+
+std::vector<double> apply_window(std::span<const double> x, std::span<const double> w) {
+  BIS_CHECK(x.size() == w.size());
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * w[i];
+  return out;
+}
+
+std::vector<std::complex<double>> apply_window(std::span<const std::complex<double>> x,
+                                               std::span<const double> w) {
+  BIS_CHECK(x.size() == w.size());
+  std::vector<std::complex<double>> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * w[i];
+  return out;
+}
+
+double window_sum(std::span<const double> w) {
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  return sum;
+}
+
+double equivalent_noise_bandwidth(std::span<const double> w) {
+  BIS_CHECK(!w.empty());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : w) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  BIS_CHECK(sum != 0.0);
+  return static_cast<double>(w.size()) * sum_sq / (sum * sum);
+}
+
+const char* window_name(WindowType type) {
+  switch (type) {
+    case WindowType::kRectangular: return "rectangular";
+    case WindowType::kHann: return "hann";
+    case WindowType::kHamming: return "hamming";
+    case WindowType::kBlackman: return "blackman";
+    case WindowType::kBlackmanHarris: return "blackman-harris";
+    case WindowType::kKaiser: return "kaiser";
+  }
+  return "unknown";
+}
+
+}  // namespace bis::dsp

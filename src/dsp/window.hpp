@@ -1,0 +1,43 @@
+#pragma once
+
+/// @file window.hpp
+/// FFT window functions. The radar range processor and the tag's sliding-FFT
+/// decoder both window their transforms to control spectral leakage — the
+/// leakage/resolution trade-off directly affects CSSK symbol separability
+/// (paper §3.2.2, Fig. 6).
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace bis::dsp {
+
+enum class WindowType {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+  kBlackmanHarris,
+  kKaiser,  ///< Uses the beta parameter.
+};
+
+/// Generate an n-point window. @p kaiser_beta is only used for Kaiser.
+std::vector<double> make_window(WindowType type, std::size_t n, double kaiser_beta = 8.6);
+
+/// Multiply a signal by a window of the same length (returns a copy).
+std::vector<double> apply_window(std::span<const double> x, std::span<const double> w);
+std::vector<std::complex<double>> apply_window(std::span<const std::complex<double>> x,
+                                               std::span<const double> w);
+
+/// Sum of window samples (coherent gain·N), used to normalize FFT amplitude.
+double window_sum(std::span<const double> w);
+
+/// Equivalent noise bandwidth in bins: N·Σw² / (Σw)².
+double equivalent_noise_bandwidth(std::span<const double> w);
+
+/// Modified Bessel function of the first kind, order zero (for Kaiser).
+double bessel_i0(double x);
+
+const char* window_name(WindowType type);
+
+}  // namespace bis::dsp

@@ -1,0 +1,78 @@
+#include "phy/bits.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace bis::phy {
+
+Bits bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  Bits bits;
+  bits.reserve(bytes.size() * 8);
+  for (auto byte : bytes)
+    for (int b = 7; b >= 0; --b) bits.push_back((byte >> b) & 1);
+  return bits;
+}
+
+std::vector<std::uint8_t> bits_to_bytes(std::span<const int> bits) {
+  BIS_CHECK(bits.size() % 8 == 0);
+  BIS_CHECK(is_bit_vector(bits));
+  std::vector<std::uint8_t> bytes(bits.size() / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    bytes[i / 8] = static_cast<std::uint8_t>((bytes[i / 8] << 1) | bits[i]);
+  return bytes;
+}
+
+Bits string_to_bits(const std::string& s) {
+  std::vector<std::uint8_t> bytes(s.begin(), s.end());
+  return bytes_to_bits(bytes);
+}
+
+std::string bits_to_string(std::span<const int> bits) {
+  const auto bytes = bits_to_bytes(bits);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::vector<std::size_t> bits_to_symbols(std::span<const int> bits,
+                                         std::size_t bits_per_symbol) {
+  BIS_CHECK(bits_per_symbol >= 1 && bits_per_symbol <= 20);
+  BIS_CHECK(is_bit_vector(bits));
+  std::vector<std::size_t> symbols;
+  symbols.reserve((bits.size() + bits_per_symbol - 1) / bits_per_symbol);
+  for (std::size_t start = 0; start < bits.size(); start += bits_per_symbol) {
+    std::size_t sym = 0;
+    for (std::size_t b = 0; b < bits_per_symbol; ++b) {
+      const std::size_t idx = start + b;
+      const int bit = idx < bits.size() ? bits[idx] : 0;
+      sym = (sym << 1) | static_cast<std::size_t>(bit);
+    }
+    symbols.push_back(sym);
+  }
+  return symbols;
+}
+
+Bits symbols_to_bits(std::span<const std::size_t> symbols, std::size_t bits_per_symbol) {
+  BIS_CHECK(bits_per_symbol >= 1 && bits_per_symbol <= 20);
+  Bits bits;
+  bits.reserve(symbols.size() * bits_per_symbol);
+  for (auto sym : symbols) {
+    BIS_CHECK(sym < (static_cast<std::size_t>(1) << bits_per_symbol));
+    for (std::size_t b = bits_per_symbol; b-- > 0;)
+      bits.push_back(static_cast<int>((sym >> b) & 1));
+  }
+  return bits;
+}
+
+std::size_t hamming_distance(std::span<const int> a, std::span<const int> b) {
+  const std::size_t common = std::min(a.size(), b.size());
+  std::size_t dist = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+  for (std::size_t i = 0; i < common; ++i)
+    if (a[i] != b[i]) ++dist;
+  return dist;
+}
+
+bool is_bit_vector(std::span<const int> bits) {
+  return std::all_of(bits.begin(), bits.end(), [](int b) { return b == 0 || b == 1; });
+}
+
+}  // namespace bis::phy

@@ -1,0 +1,44 @@
+#pragma once
+
+/// @file bits.hpp
+/// Bit-vector utilities: byte packing, symbol grouping, conversions.
+/// Bits are represented as std::vector<int> of 0/1 (MSB-first within
+/// bytes/symbols) for clarity over performance — payloads are small.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bis::phy {
+
+using Bits = std::vector<int>;
+
+/// Expand bytes to bits, MSB first.
+Bits bytes_to_bits(std::span<const std::uint8_t> bytes);
+
+/// Pack bits (MSB first) into bytes; bit count must be a multiple of 8.
+std::vector<std::uint8_t> bits_to_bytes(std::span<const int> bits);
+
+/// ASCII string → bits (MSB first per character).
+Bits string_to_bits(const std::string& s);
+
+/// Bits → ASCII string; bit count must be a multiple of 8.
+std::string bits_to_string(std::span<const int> bits);
+
+/// Group bits into symbols of @p bits_per_symbol (MSB first). The final
+/// symbol is zero-padded when the bit count is not a multiple.
+std::vector<std::size_t> bits_to_symbols(std::span<const int> bits,
+                                         std::size_t bits_per_symbol);
+
+/// Expand symbols back into bits (MSB first), producing
+/// symbols.size() · bits_per_symbol bits.
+Bits symbols_to_bits(std::span<const std::size_t> symbols, std::size_t bits_per_symbol);
+
+/// Number of differing bits over the common prefix plus the length mismatch.
+std::size_t hamming_distance(std::span<const int> a, std::span<const int> b);
+
+/// Validate that every element is 0 or 1.
+bool is_bit_vector(std::span<const int> bits);
+
+}  // namespace bis::phy

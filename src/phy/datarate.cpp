@@ -1,0 +1,40 @@
+#include "phy/datarate.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace bis::phy {
+
+std::size_t slope_count(double delta_f_min_hz, double delta_f_max_hz,
+                        double delta_f_interval_hz) {
+  BIS_CHECK(delta_f_max_hz > delta_f_min_hz);
+  BIS_CHECK(delta_f_interval_hz > 0.0);
+  return static_cast<std::size_t>(
+      std::floor((delta_f_max_hz - delta_f_min_hz) / delta_f_interval_hz));
+}
+
+std::size_t symbol_bits(std::size_t n_slope) {
+  BIS_CHECK(n_slope >= 2);
+  std::size_t bits = 0;
+  while ((static_cast<std::size_t>(1) << (bits + 1)) <= n_slope) ++bits;
+  return bits;
+}
+
+double downlink_data_rate(std::size_t bits_per_symbol, double chirp_period_s) {
+  BIS_CHECK(bits_per_symbol >= 1);
+  BIS_CHECK(chirp_period_s > 0.0);
+  return static_cast<double>(bits_per_symbol) / chirp_period_s;
+}
+
+double downlink_goodput(std::size_t bits_per_symbol, double chirp_period_s,
+                        std::size_t payload_chirps, std::size_t preamble_chirps) {
+  BIS_CHECK(payload_chirps >= 1);
+  const double total_time =
+      chirp_period_s * static_cast<double>(payload_chirps + preamble_chirps);
+  const double payload_bits =
+      static_cast<double>(bits_per_symbol) * static_cast<double>(payload_chirps);
+  return payload_bits / total_time;
+}
+
+}  // namespace bis::phy

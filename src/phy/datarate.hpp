@@ -1,0 +1,28 @@
+#pragma once
+
+/// @file datarate.hpp
+/// Downlink data-rate arithmetic (paper Eqs. 12–14 and §6 "Radar Downlink
+/// Data-Rate"): N_symbol = log2(N_slope), N_slope = (Δf_max − Δf_min)/Δf_int,
+/// data_rate = N_symbol / T_period.
+
+#include <cstddef>
+
+namespace bis::phy {
+
+/// Number of distinguishable slopes for a beat-frequency span and the
+/// minimum separable interval (Eq. 13). Floors to an integer.
+std::size_t slope_count(double delta_f_min_hz, double delta_f_max_hz,
+                        double delta_f_interval_hz);
+
+/// Bits per symbol for a slope count (Eq. 12): floor(log2(N_slope)).
+std::size_t symbol_bits(std::size_t n_slope);
+
+/// Downlink rate [bit/s] (Eq. 14).
+double downlink_data_rate(std::size_t bits_per_symbol, double chirp_period_s);
+
+/// Effective goodput [bit/s] after preamble overhead for a packet of
+/// @p payload_chirps data chirps with the given preamble length.
+double downlink_goodput(std::size_t bits_per_symbol, double chirp_period_s,
+                        std::size_t payload_chirps, std::size_t preamble_chirps);
+
+}  // namespace bis::phy

@@ -1,0 +1,90 @@
+#include "phy/fec.hpp"
+
+#include "common/check.hpp"
+
+namespace bis::phy {
+namespace {
+
+// Codeword layout [p1 p2 d1 p3 d2 d3 d4] with parity positions 1, 2, 4
+// (1-indexed) — the classic Hamming(7,4) arrangement whose syndrome equals
+// the 1-indexed error position.
+void encode_block(const int d[4], int out[7]) {
+  const int d1 = d[0], d2 = d[1], d3 = d[2], d4 = d[3];
+  const int p1 = d1 ^ d2 ^ d4;
+  const int p2 = d1 ^ d3 ^ d4;
+  const int p3 = d2 ^ d3 ^ d4;
+  out[0] = p1;
+  out[1] = p2;
+  out[2] = d1;
+  out[3] = p3;
+  out[4] = d2;
+  out[5] = d3;
+  out[6] = d4;
+}
+
+}  // namespace
+
+Bits hamming74_encode(std::span<const int> data) {
+  BIS_CHECK(is_bit_vector(data));
+  Bits out;
+  out.reserve(((data.size() + 3) / 4) * 7);
+  for (std::size_t start = 0; start < data.size(); start += 4) {
+    int block[4] = {0, 0, 0, 0};
+    for (std::size_t i = 0; i < 4 && start + i < data.size(); ++i)
+      block[i] = data[start + i];
+    int code[7];
+    encode_block(block, code);
+    out.insert(out.end(), code, code + 7);
+  }
+  return out;
+}
+
+FecDecodeResult hamming74_decode(std::span<const int> coded) {
+  BIS_CHECK(is_bit_vector(coded));
+  BIS_CHECK(coded.size() % 7 == 0);
+  FecDecodeResult result;
+  result.data.reserve(coded.size() / 7 * 4);
+  for (std::size_t start = 0; start < coded.size(); start += 7) {
+    int c[7];
+    for (std::size_t i = 0; i < 7; ++i) c[i] = coded[start + i];
+    // Syndrome bits check parity groups over 1-indexed positions.
+    const int s1 = c[0] ^ c[2] ^ c[4] ^ c[6];
+    const int s2 = c[1] ^ c[2] ^ c[5] ^ c[6];
+    const int s3 = c[3] ^ c[4] ^ c[5] ^ c[6];
+    const int syndrome = s1 + (s2 << 1) + (s3 << 2);
+    if (syndrome != 0) {
+      c[syndrome - 1] ^= 1;
+      ++result.corrected_errors;
+    }
+    result.data.push_back(c[2]);
+    result.data.push_back(c[4]);
+    result.data.push_back(c[5]);
+    result.data.push_back(c[6]);
+  }
+  return result;
+}
+
+Bits repetition_encode(std::span<const int> data, std::size_t n) {
+  BIS_CHECK(n >= 1 && n % 2 == 1);
+  BIS_CHECK(is_bit_vector(data));
+  Bits out;
+  out.reserve(data.size() * n);
+  for (int b : data)
+    for (std::size_t i = 0; i < n; ++i) out.push_back(b);
+  return out;
+}
+
+Bits repetition_decode(std::span<const int> coded, std::size_t n) {
+  BIS_CHECK(n >= 1 && n % 2 == 1);
+  BIS_CHECK(coded.size() % n == 0);
+  Bits out;
+  out.reserve(coded.size() / n);
+  for (std::size_t start = 0; start < coded.size(); start += n) {
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < n; ++i) ones += static_cast<std::size_t>(coded[start + i]);
+    out.push_back(ones * 2 > n ? 1 : 0);
+  }
+  return out;
+}
+
+}  // namespace bis::phy

@@ -1,0 +1,29 @@
+#pragma once
+
+/// @file fec.hpp
+/// Forward error correction for the downlink payload. The paper leaves FEC
+/// as an extension (its BER target of 1e-3 is reached unprotected); we
+/// provide Hamming(7,4) single-error-correcting code and a simple repetition
+/// code so low-SNR operating points remain usable.
+
+#include "phy/bits.hpp"
+
+namespace bis::phy {
+
+/// Hamming(7,4): encodes 4 data bits into 7, corrects any single bit error
+/// per codeword. Input is zero-padded to a multiple of 4.
+Bits hamming74_encode(std::span<const int> data);
+
+struct FecDecodeResult {
+  Bits data;                       ///< Decoded data bits.
+  std::size_t corrected_errors = 0;  ///< Codewords with a corrected single error.
+};
+
+/// Decode; input length must be a multiple of 7.
+FecDecodeResult hamming74_decode(std::span<const int> coded);
+
+/// Repetition code: each bit sent @p n times (n odd), majority decode.
+Bits repetition_encode(std::span<const int> data, std::size_t n);
+Bits repetition_decode(std::span<const int> coded, std::size_t n);
+
+}  // namespace bis::phy

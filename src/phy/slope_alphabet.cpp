@@ -1,0 +1,103 @@
+#include "phy/slope_alphabet.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace bis::phy {
+
+SlopeAlphabet SlopeAlphabet::design(const SlopeAlphabetConfig& config) {
+  BIS_CHECK(config.bandwidth_hz > 0.0);
+  BIS_CHECK(config.start_frequency_hz > 0.0);
+  BIS_CHECK(config.chirp_period_s > 0.0);
+  BIS_CHECK(config.min_chirp_duration_s > 0.0);
+  BIS_CHECK(config.max_duty > 0.0 && config.max_duty <= 1.0);
+  BIS_CHECK_MSG(config.bits_per_symbol >= 1 && config.bits_per_symbol <= 12,
+                "bits_per_symbol out of supported range");
+
+  const double t_max = config.max_duty * config.chirp_period_s;
+  BIS_CHECK_MSG(config.min_chirp_duration_s < t_max,
+                "min chirp duration leaves no room under the duty bound");
+
+  const rf::DelayLinePair line(config.delay_line);
+  // Nominal Δf bounds from the duration bounds (Eq. 11; Δf ∝ 1/T_chirp).
+  const double df_max =
+      line.beat_frequency_nominal(config.bandwidth_hz, config.min_chirp_duration_s);
+  const double df_min = line.beat_frequency_nominal(config.bandwidth_hz, t_max);
+
+  const std::size_t n_data = static_cast<std::size_t>(1) << config.bits_per_symbol;
+  const std::size_t n_slots =
+      n_data + 2 + 2 * config.preamble_guard_slots;  // + header + sync + guards
+  BIS_CHECK_MSG(n_slots >= 2, "alphabet too small");
+
+  // Uniform beat-frequency grid (Eq. 13).
+  const double spacing = (df_max - df_min) / static_cast<double>(n_slots - 1);
+  BIS_CHECK_MSG(spacing > 0.0, "beat frequency span is empty");
+
+  std::vector<double> beat_freqs(n_slots);
+  std::vector<double> durations(n_slots);
+  for (std::size_t i = 0; i < n_slots; ++i) {
+    beat_freqs[i] = df_min + spacing * static_cast<double>(i);
+    // Invert Eq. 11 for the duration that produces this Δf.
+    durations[i] = line.beat_frequency_nominal(config.bandwidth_hz, 1.0) / beat_freqs[i];
+  }
+  return SlopeAlphabet(config, std::move(durations), std::move(beat_freqs), spacing);
+}
+
+SlopeAlphabet::SlopeAlphabet(SlopeAlphabetConfig config, std::vector<double> durations,
+                             std::vector<double> beat_freqs, double spacing)
+    : config_(std::move(config)),
+      durations_(std::move(durations)),
+      beat_freqs_(std::move(beat_freqs)),
+      beat_spacing_hz_(spacing) {}
+
+std::size_t SlopeAlphabet::data_symbol_count() const {
+  return static_cast<std::size_t>(1) << config_.bits_per_symbol;
+}
+
+std::size_t gray_encode(std::size_t value) { return value ^ (value >> 1); }
+
+std::size_t gray_decode(std::size_t gray) {
+  std::size_t value = 0;
+  for (; gray != 0; gray >>= 1) value ^= gray;
+  return value;
+}
+
+std::size_t SlopeAlphabet::slot_for_data(std::size_t symbol) const {
+  BIS_CHECK(symbol < data_symbol_count());
+  const std::size_t index = config_.gray_coding ? gray_encode(symbol) : symbol;
+  return first_data_slot() + index;
+}
+
+bool SlopeAlphabet::is_data_slot(std::size_t slot) const {
+  return slot >= first_data_slot() &&
+         slot < first_data_slot() + data_symbol_count();
+}
+
+std::size_t SlopeAlphabet::data_for_slot(std::size_t slot) const {
+  BIS_CHECK(is_data_slot(slot));
+  const std::size_t index = slot - first_data_slot();
+  return config_.gray_coding ? gray_decode(index) : index;
+}
+
+double SlopeAlphabet::duration(std::size_t slot) const {
+  BIS_CHECK(slot < durations_.size());
+  return durations_[slot];
+}
+
+double SlopeAlphabet::nominal_beat_frequency(std::size_t slot) const {
+  BIS_CHECK(slot < beat_freqs_.size());
+  return beat_freqs_[slot];
+}
+
+rf::ChirpParams SlopeAlphabet::chirp(std::size_t slot) const {
+  BIS_CHECK(slot < durations_.size());
+  rf::ChirpParams c;
+  c.start_frequency_hz = config_.start_frequency_hz;
+  c.bandwidth_hz = config_.bandwidth_hz;
+  c.duration_s = durations_[slot];
+  c.idle_s = config_.chirp_period_s - durations_[slot];
+  return c;
+}
+
+}  // namespace bis::phy

@@ -1,0 +1,75 @@
+#include "phy/uplink.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace bis::phy {
+
+std::size_t uplink_bits_per_symbol(const UplinkConfig& config) {
+  if (config.scheme == UplinkScheme::kOok) return 1;
+  std::size_t m = config.mod_frequencies_hz.size();
+  BIS_CHECK_MSG(m >= 2, "FSK needs at least two modulation frequencies");
+  std::size_t bits = 0;
+  while ((static_cast<std::size_t>(1) << (bits + 1)) <= m) ++bits;
+  return bits;
+}
+
+void validate_uplink_config(const UplinkConfig& config) {
+  BIS_CHECK(config.chirp_period_s > 0.0);
+  BIS_CHECK(config.chirps_per_symbol >= 8);
+  BIS_CHECK(config.duty_cycle > 0.0 && config.duty_cycle < 1.0);
+  BIS_CHECK(!config.mod_frequencies_hz.empty());
+  const double nyquist = 1.0 / (2.0 * config.chirp_period_s);
+  for (double f : config.mod_frequencies_hz) {
+    BIS_CHECK_MSG(f > 0.0, "modulation frequency must be positive");
+    BIS_CHECK_MSG(f < nyquist, "modulation frequency above slow-time Nyquist");
+    // Each symbol must contain at least two full modulation cycles so the
+    // slow-time FFT resolves the tone.
+    BIS_CHECK_MSG(f * config.chirp_period_s *
+                          static_cast<double>(config.chirps_per_symbol) >=
+                      2.0,
+                  "symbol too short for modulation frequency");
+  }
+}
+
+double uplink_data_rate(const UplinkConfig& config) {
+  const double symbol_time =
+      config.chirp_period_s * static_cast<double>(config.chirps_per_symbol);
+  return static_cast<double>(uplink_bits_per_symbol(config)) / symbol_time;
+}
+
+std::vector<int> uplink_symbol_states(const UplinkConfig& config, std::size_t symbol) {
+  std::vector<int> states(config.chirps_per_symbol, 1);
+  double freq = 0.0;
+  if (config.scheme == UplinkScheme::kOok) {
+    BIS_CHECK(symbol <= 1);
+    if (symbol == 0) return states;  // bit 0: static reflective
+    freq = config.mod_frequencies_hz.front();
+  } else {
+    BIS_CHECK(symbol < config.mod_frequencies_hz.size());
+    freq = config.mod_frequencies_hz[symbol];
+  }
+  for (std::size_t i = 0; i < config.chirps_per_symbol; ++i) {
+    const double t = static_cast<double>(i) * config.chirp_period_s;
+    const double phase = t * freq - std::floor(t * freq);  // position in cycle
+    states[i] = phase < config.duty_cycle ? 1 : 0;
+  }
+  return states;
+}
+
+std::vector<int> uplink_modulate(const UplinkConfig& config, std::span<const int> bits) {
+  validate_uplink_config(config);
+  BIS_CHECK(is_bit_vector(bits));
+  const std::size_t bps = uplink_bits_per_symbol(config);
+  const auto symbols = bits_to_symbols(bits, bps);
+  std::vector<int> states;
+  states.reserve(symbols.size() * config.chirps_per_symbol);
+  for (auto sym : symbols) {
+    const auto s = uplink_symbol_states(config, sym);
+    states.insert(states.end(), s.begin(), s.end());
+  }
+  return states;
+}
+
+}  // namespace bis::phy

@@ -1,0 +1,48 @@
+#pragma once
+
+/// @file uplink.hpp
+/// Uplink modulation (paper §3.2.3, §3.3). The tag toggles its RF switch so
+/// the retro-reflected amplitude follows a square wave across chirps; the
+/// radar's slow-time FFT turns that into a tone at the modulation frequency.
+/// Two schemes are supported on top of the same switch:
+///   - OOK: bit 1 = toggle at the tag's assigned frequency, bit 0 = static;
+///   - FSK: symbol k = toggle at frequency f_k (log2(M) bits per symbol).
+/// Modulation frequencies live below the slow-time Nyquist rate
+/// 1/(2·T_period) and are assigned per tag for multi-tag separation
+/// (paper §6 "Extension to Multi-Radar Multi-Tag Scenarios").
+
+#include <cstddef>
+#include <vector>
+
+#include "phy/bits.hpp"
+
+namespace bis::phy {
+
+enum class UplinkScheme { kOok, kFsk };
+
+struct UplinkConfig {
+  UplinkScheme scheme = UplinkScheme::kFsk;
+  std::vector<double> mod_frequencies_hz = {800.0, 1200.0, 1600.0, 2000.0};
+  std::size_t chirps_per_symbol = 64;  ///< Slow-time samples per uplink symbol.
+  double duty_cycle = 0.5;             ///< Square-wave duty.
+  double chirp_period_s = 120e-6;      ///< Must match the radar frame cadence.
+};
+
+/// Bits carried per uplink symbol: 1 for OOK, log2(M) for FSK.
+std::size_t uplink_bits_per_symbol(const UplinkConfig& config);
+
+/// Validate frequencies against the slow-time Nyquist bound and each other.
+void validate_uplink_config(const UplinkConfig& config);
+
+/// Uplink raw bit rate [bit/s].
+double uplink_data_rate(const UplinkConfig& config);
+
+/// Map data bits to per-chirp switch states (1 = reflective, 0 = absorptive)
+/// over ceil(bits/bps) · chirps_per_symbol chirps.
+std::vector<int> uplink_modulate(const UplinkConfig& config, std::span<const int> bits);
+
+/// Per-chirp states of one symbol with value @p symbol (used by the tag's
+/// streaming modulator).
+std::vector<int> uplink_symbol_states(const UplinkConfig& config, std::size_t symbol);
+
+}  // namespace bis::phy

@@ -1,0 +1,80 @@
+#include "radar/range_align.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "dsp/resample.hpp"
+
+namespace bis::radar {
+
+dsp::RVec AlignedProfiles::column_magnitude(std::size_t bin) const {
+  BIS_CHECK(bin < n_bins());
+  dsp::RVec out(rows.size());
+  for (std::size_t m = 0; m < rows.size(); ++m) out[m] = std::abs(rows[m][bin]);
+  return out;
+}
+
+dsp::CVec AlignedProfiles::column(std::size_t bin) const {
+  BIS_CHECK(bin < n_bins());
+  dsp::CVec out(rows.size());
+  for (std::size_t m = 0; m < rows.size(); ++m) out[m] = rows[m][bin];
+  return out;
+}
+
+RangeAligner::RangeAligner(const RangeAlignConfig& config) : config_(config) {}
+
+AlignedProfiles RangeAligner::align(std::span<const RangeProfile> profiles) const {
+  BIS_CHECK(!profiles.empty());
+  AlignedProfiles out;
+  out.chirp_period_s = profiles.front().chirp.period();
+
+  if (!config_.enabled) {
+    // Ablation baseline (Fig. 7a): ignore the per-chirp range scaling and
+    // stack raw bins. The "range grid" is only nominally meaningful (taken
+    // from the first chirp) — exactly the ambiguity the paper illustrates.
+    const std::size_t n = profiles.front().bins.size();
+    for (const auto& p : profiles) {
+      dsp::CVec row(n, dsp::cdouble(0.0, 0.0));
+      const std::size_t m = std::min(n, p.bins.size());
+      std::copy(p.bins.begin(), p.bins.begin() + static_cast<long>(m), row.begin());
+      out.rows.push_back(std::move(row));
+    }
+    out.range_grid = profiles.front().range_axis();
+    out.range_grid.resize(n);
+    return out;
+  }
+
+  // Common coverage: every chirp can see at least min(R_max); the grid stops
+  // there so no row needs extrapolation.
+  double r_cover = profiles.front().max_range_m();
+  std::size_t max_fft = 0;
+  for (const auto& p : profiles) {
+    r_cover = std::min(r_cover, p.max_range_m());
+    max_fft = std::max(max_fft, p.n_fft);
+  }
+  const double r_max = config_.max_range_m > 0.0
+                           ? std::min(config_.max_range_m, r_cover)
+                           : r_cover;
+  const std::size_t n_grid = config_.grid_bins > 0 ? config_.grid_bins : max_fft;
+  BIS_CHECK(n_grid >= 2);
+
+  out.range_grid = dsp::linspace(0.0, r_max, n_grid);
+  out.rows.reserve(profiles.size());
+  for (const auto& p : profiles) {
+    const auto axis = p.range_axis();
+    out.rows.push_back(dsp::regrid_linear(axis, p.bins, out.range_grid));
+  }
+  return out;
+}
+
+void subtract_background(AlignedProfiles& profiles, std::size_t background_row) {
+  BIS_CHECK(background_row < profiles.rows.size());
+  const dsp::CVec background = profiles.rows[background_row];
+  for (auto& row : profiles.rows) {
+    BIS_CHECK(row.size() == background.size());
+    for (std::size_t i = 0; i < row.size(); ++i) row[i] -= background[i];
+  }
+}
+
+}  // namespace bis::radar

@@ -1,0 +1,62 @@
+#pragma once
+
+/// @file range_align.hpp
+/// BiScatter's IF-correction / range-alignment stage (paper §3.3, Fig. 7).
+/// CSSK varies the chirp slope, so the same physical range lands on a
+/// different IF frequency — and a different FFT-bin range spacing — every
+/// chirp. Left uncorrected, a static tag smears across range bins and
+/// slow-time (Doppler/modulation) processing decoheres. The fix is:
+///   1. convert each chirp's bins to metres using that chirp's own
+///      R_max (Eq. 15: range[n] = n/N_FFT · R_max), then
+///   2. pairwise-interpolate every profile onto one common range grid.
+
+#include <span>
+#include <vector>
+
+#include "radar/range_processor.hpp"
+
+namespace bis::radar {
+
+/// Slow-time matrix of aligned complex range profiles.
+struct AlignedProfiles {
+  std::vector<dsp::CVec> rows;     ///< rows[chirp][grid_bin].
+  std::vector<double> range_grid;  ///< Common range axis [m].
+  double chirp_period_s = 0.0;     ///< Slow-time sample interval.
+
+  std::size_t n_chirps() const { return rows.size(); }
+  std::size_t n_bins() const { return range_grid.size(); }
+
+  /// Magnitude of one slow-time column (fixed grid bin across chirps).
+  dsp::RVec column_magnitude(std::size_t bin) const;
+
+  /// Complex slow-time column.
+  dsp::CVec column(std::size_t bin) const;
+};
+
+struct RangeAlignConfig {
+  std::size_t grid_bins = 0;    ///< 0 = use the largest profile's N_FFT.
+  double max_range_m = 0.0;     ///< 0 = min over chirps of R_max (always
+                                ///< covered by every chirp).
+  bool enabled = true;          ///< false = no-IF-correction baseline: stack
+                                ///< raw bins directly (Fig. 7a ablation).
+};
+
+class RangeAligner {
+ public:
+  explicit RangeAligner(const RangeAlignConfig& config);
+
+  /// Align a frame's per-chirp profiles onto a common range grid.
+  AlignedProfiles align(std::span<const RangeProfile> profiles) const;
+
+  const RangeAlignConfig& config() const { return config_; }
+
+ private:
+  RangeAlignConfig config_;
+};
+
+/// Subtract a background row from every row (paper: "uses the first chirp
+/// of each frame for background subtraction"). @p background_row selects
+/// which chirp to treat as background.
+void subtract_background(AlignedProfiles& profiles, std::size_t background_row = 0);
+
+}  // namespace bis::radar

@@ -1,0 +1,53 @@
+#include "radar/range_processor.hpp"
+
+#include "common/check.hpp"
+#include "dsp/fft.hpp"
+
+namespace bis::radar {
+
+double RangeProfile::bin_range_m(std::size_t n) const {
+  BIS_CHECK(n_fft > 0);
+  return static_cast<double>(n) / static_cast<double>(n_fft) * max_range_m();
+}
+
+double RangeProfile::bin_spacing_m() const {
+  BIS_CHECK(n_fft > 0);
+  return max_range_m() / static_cast<double>(n_fft);
+}
+
+double RangeProfile::max_range_m() const {
+  return chirp.max_unambiguous_range(sample_rate_hz);
+}
+
+std::vector<double> RangeProfile::range_axis() const {
+  std::vector<double> axis(bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) axis[i] = bin_range_m(i);
+  return axis;
+}
+
+RangeProcessor::RangeProcessor(const RangeProcessorConfig& config) : config_(config) {
+  BIS_CHECK(config_.zero_pad_factor >= 1 && config_.zero_pad_factor <= 16);
+}
+
+RangeProfile RangeProcessor::process(std::span<const dsp::cdouble> if_samples,
+                                     const rf::ChirpParams& chirp,
+                                     double sample_rate_hz) const {
+  BIS_CHECK(!if_samples.empty());
+  BIS_CHECK(sample_rate_hz > 0.0);
+  const auto w = dsp::make_window(config_.window, if_samples.size());
+  const auto xw = dsp::apply_window(if_samples, w);
+  const std::size_t n_fft =
+      dsp::next_power_of_two(if_samples.size()) * config_.zero_pad_factor;
+  RangeProfile profile;
+  profile.bins = dsp::fft_padded(xw, n_fft);
+  // Normalize by the window sum so tone amplitude is comparable across
+  // chirps with different sample counts (different CSSK durations).
+  const double norm = dsp::window_sum(w);
+  for (auto& b : profile.bins) b /= norm;
+  profile.chirp = chirp;
+  profile.sample_rate_hz = sample_rate_hz;
+  profile.n_fft = n_fft;
+  return profile;
+}
+
+}  // namespace bis::radar

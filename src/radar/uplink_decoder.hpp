@@ -1,0 +1,44 @@
+#pragma once
+
+/// @file uplink_decoder.hpp
+/// Decodes the tag's uplink message from the slow-time series at the tag's
+/// range bin (paper §3.3). Each uplink symbol spans a block of chirps; the
+/// block's slow-time spectrum is evaluated at the candidate modulation
+/// frequencies (Goertzel — only a handful of frequencies matter):
+///   - FSK: symbol = argmax over the frequency alphabet;
+///   - OOK: bit = 1 when the assigned tone rises @p threshold above the
+///     off-tone noise estimate.
+
+#include <vector>
+
+#include "phy/bits.hpp"
+#include "phy/uplink.hpp"
+#include "radar/range_align.hpp"
+
+namespace bis::radar {
+
+struct UplinkDecodeResult {
+  std::vector<std::size_t> symbols;
+  phy::Bits bits;
+  std::vector<double> symbol_confidence;  ///< Winner/runner-up power ratio.
+};
+
+class UplinkDecoder {
+ public:
+  explicit UplinkDecoder(phy::UplinkConfig config);
+
+  /// Decode the slow-time series of the tag's grid bin across one frame.
+  /// The frame must contain a whole number of symbol blocks.
+  UplinkDecodeResult decode(const AlignedProfiles& profiles, std::size_t tag_bin) const;
+
+  /// Decode from a raw slow-time magnitude series (utility for tests).
+  UplinkDecodeResult decode_series(const dsp::RVec& series) const;
+
+  const phy::UplinkConfig& config() const { return config_; }
+
+ private:
+  phy::UplinkConfig config_;
+  double ook_threshold_ratio_ = 2.0;
+};
+
+}  // namespace bis::radar

@@ -1,0 +1,43 @@
+#include "rf/antenna.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+
+namespace bis::rf {
+
+double AntennaPattern::gain_dbi(double theta_rad) const {
+  if (type == PatternType::kIsotropic) return boresight_gain_dbi;
+  const double theta = std::abs(theta_rad);
+  if (theta >= kPi / 2.0) return kBackLobeFloorDbi;
+  const double c = std::cos(theta);
+  const double rel = cosine_exponent * 10.0 * std::log10(std::max(c, 1e-6));
+  return std::max(boresight_gain_dbi + rel, kBackLobeFloorDbi);
+}
+
+double AntennaPattern::half_power_beamwidth() const {
+  if (type == PatternType::kIsotropic) return kPi;
+  BIS_CHECK(cosine_exponent > 0.0);
+  // Power pattern cosⁿ(θ) = 1/2  →  θ = acos(2^(−1/n)).
+  const double theta = std::acos(std::pow(2.0, -1.0 / cosine_exponent));
+  return 2.0 * theta;
+}
+
+AntennaPattern AntennaPattern::isotropic() {
+  AntennaPattern p;
+  p.type = PatternType::kIsotropic;
+  p.boresight_gain_dbi = 0.0;
+  return p;
+}
+
+AntennaPattern AntennaPattern::patch(double boresight_gain_dbi, double cosine_exponent) {
+  AntennaPattern p;
+  p.type = PatternType::kCosinePower;
+  p.boresight_gain_dbi = boresight_gain_dbi;
+  p.cosine_exponent = cosine_exponent;
+  return p;
+}
+
+}  // namespace bis::rf

@@ -1,0 +1,34 @@
+#pragma once
+
+/// @file antenna.hpp
+/// Simple antenna gain-pattern models for the radar horns and tag patches.
+
+#include <cstddef>
+
+namespace bis::rf {
+
+enum class PatternType {
+  kIsotropic,
+  kCosinePower,  ///< G(θ) = G0·cosⁿ(θ), the standard patch approximation.
+};
+
+struct AntennaPattern {
+  PatternType type = PatternType::kCosinePower;
+  double boresight_gain_dbi = 5.0;
+  double cosine_exponent = 2.0;  ///< n in cosⁿ(θ); larger = narrower beam.
+
+  /// Gain [dBi] at angle @p theta_rad off boresight. Past ±90° the pattern
+  /// floors at the back-lobe level.
+  double gain_dbi(double theta_rad) const;
+
+  /// Half-power beamwidth [rad] of the cosⁿ model (full width).
+  double half_power_beamwidth() const;
+
+  static AntennaPattern isotropic();
+  static AntennaPattern patch(double boresight_gain_dbi, double cosine_exponent = 2.0);
+};
+
+/// Back-lobe floor applied beyond ±90° [dBi].
+inline constexpr double kBackLobeFloorDbi = -30.0;
+
+}  // namespace bis::rf

@@ -1,0 +1,34 @@
+#include "rf/channel.hpp"
+
+namespace bis::rf {
+
+ChannelModel ChannelModel::indoor_office() {
+  ChannelModel ch;
+  // Tap gains are as seen by the tag's patch antenna: off-axis bounces are
+  // attenuated by the element pattern on top of the longer path.
+  ch.taps = {
+      {8e-9, -28.0, 0.9},   // near wall bounce
+      {21e-9, -32.0, 2.4},  // far wall bounce
+      {5e-9, -30.0, 4.1},   // ground bounce
+  };
+  return ch;
+}
+
+ChannelModel ChannelModel::free_space() { return ChannelModel{}; }
+
+ChannelModel ChannelModel::random_office(Rng& rng, std::size_t n_taps,
+                                         double min_gain_db, double max_gain_db,
+                                         double max_excess_delay_s) {
+  ChannelModel ch;
+  ch.taps.reserve(n_taps);
+  for (std::size_t i = 0; i < n_taps; ++i) {
+    MultipathTap tap;
+    tap.excess_delay_s = rng.uniform(1e-9, max_excess_delay_s);
+    tap.relative_gain_db = rng.uniform(min_gain_db, max_gain_db);
+    tap.phase_rad = rng.uniform(0.0, 6.283185307179586);
+    ch.taps.push_back(tap);
+  }
+  return ch;
+}
+
+}  // namespace bis::rf

@@ -1,0 +1,35 @@
+#include "rf/chirp.hpp"
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+
+namespace bis::rf {
+
+double ChirpParams::beat_frequency(double range_m) const {
+  return 2.0 * slope() * range_m / kSpeedOfLight;
+}
+
+double ChirpParams::beat_to_range(double f_if) const {
+  return f_if * kSpeedOfLight / (2.0 * slope());
+}
+
+double ChirpParams::max_unambiguous_range(double fs) const {
+  return fs * kSpeedOfLight * duration_s / (2.0 * bandwidth_hz);
+}
+
+double ChirpParams::range_resolution() const {
+  return kSpeedOfLight / (2.0 * bandwidth_hz);
+}
+
+bool ChirpParams::valid() const {
+  return start_frequency_hz > 0.0 && bandwidth_hz > 0.0 && duration_s > 0.0 &&
+         idle_s >= 0.0;
+}
+
+void validate_chirp(const ChirpParams& chirp, double max_duty) {
+  BIS_CHECK_MSG(chirp.valid(), "chirp fields must be positive");
+  BIS_CHECK_MSG(chirp.duration_s <= max_duty * chirp.period() + 1e-12,
+                "chirp duration exceeds the maximum duty cycle of the period");
+}
+
+}  // namespace bis::rf

@@ -1,0 +1,53 @@
+#pragma once
+
+/// @file chirp.hpp
+/// FMCW chirp parameterization (paper §2.3). A chirp is a linear frequency
+/// sweep of bandwidth B over duration T_chirp starting at f0; its slope
+/// α = B/T_chirp is the quantity CSSK modulates. Each chirp is followed by an
+/// inter-chirp idle so that every CSSK symbol occupies the same fixed period
+/// T_period = T_chirp + T_idle (paper §3.1).
+
+#include <cstddef>
+
+namespace bis::rf {
+
+struct ChirpParams {
+  double start_frequency_hz = 0.0;  ///< f0: sweep start frequency.
+  double bandwidth_hz = 0.0;        ///< B: swept bandwidth (fixed under CSSK).
+  double duration_s = 0.0;          ///< T_chirp: active sweep time.
+  double idle_s = 0.0;              ///< T_interC: inter-chirp delay.
+
+  /// Chirp slope α = B / T_chirp [Hz/s].
+  double slope() const { return bandwidth_hz / duration_s; }
+
+  /// Full symbol period T_period = T_chirp + T_interC.
+  double period() const { return duration_s + idle_s; }
+
+  /// Sweep centre frequency f0 + B/2 (used for wavelength/path-loss).
+  double center_frequency_hz() const { return start_frequency_hz + bandwidth_hz / 2.0; }
+
+  /// IF beat frequency of a point target at @p range_m (Eq. 3):
+  /// f_IF = 2·α·r/c.
+  double beat_frequency(double range_m) const;
+
+  /// Range corresponding to IF frequency @p f_if (inverse of Eq. 3).
+  double beat_to_range(double f_if) const;
+
+  /// Maximum unambiguous range for ADC rate @p fs (Eq. 4):
+  /// R_max = fs·c·T_chirp / (2B) — for a complex (I/Q) IF chain.
+  double max_unambiguous_range(double fs) const;
+
+  /// Range resolution c / 2B (Eq. 5); independent of chirp duration, which
+  /// is exactly why CSSK varies duration and not bandwidth.
+  double range_resolution() const;
+
+  /// True when all fields are physically meaningful.
+  bool valid() const;
+};
+
+/// Require: positive duration/bandwidth, non-negative idle, and
+/// T_chirp <= max_duty · T_period (paper: chirp duration can use at most
+/// ~80% of the period on commercial radars).
+void validate_chirp(const ChirpParams& chirp, double max_duty = 0.8);
+
+}  // namespace bis::rf

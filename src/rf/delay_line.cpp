@@ -1,0 +1,50 @@
+#include "rf/delay_line.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+
+namespace bis::rf {
+
+DelayLinePair::DelayLinePair(const DelayLineConfig& config) : config_(config) {
+  BIS_CHECK(config_.length_diff_m > 0.0);
+  BIS_CHECK(config_.velocity_factor > 0.0 && config_.velocity_factor <= 1.0);
+  BIS_CHECK(config_.reference_freq_hz > 0.0);
+  BIS_CHECK(config_.loss_db_per_m_at_ref >= 0.0);
+}
+
+double DelayLinePair::velocity_factor(double freq_hz) const {
+  BIS_CHECK(freq_hz > 0.0);
+  const double offset_ghz = (freq_hz - config_.reference_freq_hz) / 1e9;
+  const double k = config_.velocity_factor * (1.0 + config_.dispersion_per_ghz * offset_ghz);
+  BIS_CHECK_MSG(k > 0.0, "dispersion model produced non-physical velocity factor");
+  return k;
+}
+
+double DelayLinePair::delta_t(double freq_hz) const {
+  return config_.length_diff_m / (velocity_factor(freq_hz) * kSpeedOfLight);
+}
+
+double DelayLinePair::delta_t_nominal() const {
+  return config_.length_diff_m / (config_.velocity_factor * kSpeedOfLight);
+}
+
+double DelayLinePair::beat_frequency(double slope_hz_per_s, double center_freq_hz) const {
+  BIS_CHECK(slope_hz_per_s > 0.0);
+  return slope_hz_per_s * delta_t(center_freq_hz);
+}
+
+double DelayLinePair::beat_frequency_nominal(double bandwidth_hz, double t_chirp_s) const {
+  BIS_CHECK(bandwidth_hz > 0.0 && t_chirp_s > 0.0);
+  return bandwidth_hz * config_.length_diff_m /
+         (t_chirp_s * config_.velocity_factor * kSpeedOfLight);
+}
+
+double DelayLinePair::insertion_loss_db(double freq_hz) const {
+  // Skin-effect loss grows ~√f; normalize to the reference frequency.
+  const double scale = std::sqrt(freq_hz / config_.reference_freq_hz);
+  return config_.loss_db_per_m_at_ref * config_.length_diff_m * scale;
+}
+
+}  // namespace bis::rf

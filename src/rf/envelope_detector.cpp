@@ -1,0 +1,59 @@
+#include "rf/envelope_detector.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+
+namespace bis::rf {
+
+EnvelopeDetector::EnvelopeDetector(const EnvelopeDetectorConfig& config)
+    : config_(config) {
+  BIS_CHECK(config_.lpf_cutoff_hz > 0.0);
+  BIS_CHECK(config_.output_noise_density >= 0.0);
+  BIS_CHECK(config_.conversion_gain > 0.0);
+}
+
+EnvelopeDetector::Output EnvelopeDetector::mix(const std::vector<ChirpCopy>& copies,
+                                               double slope_hz_per_s,
+                                               double f0_hz) const {
+  BIS_CHECK(slope_hz_per_s > 0.0);
+  Output out;
+  // Squaring Σᵢ aᵢ·cos(φᵢ(t)) with φᵢ(t) = 2π(f0(t−τᵢ) + (α/2)(t−τᵢ)²) + θᵢ:
+  //   self terms   → DC  aᵢ²/2,
+  //   cross terms  → tone at α·(τⱼ−τᵢ) with amplitude aᵢ·aⱼ and phase
+  //                  2π(f0·Δτ − (α/2)(τⱼ²−τᵢ²)) + (θᵢ−θⱼ).
+  for (std::size_t i = 0; i < copies.size(); ++i) {
+    out.dc += config_.conversion_gain * copies[i].amplitude * copies[i].amplitude / 2.0;
+    for (std::size_t j = i + 1; j < copies.size(); ++j) {
+      const double dtau = copies[j].delay_s - copies[i].delay_s;
+      const double freq = std::abs(slope_hz_per_s * dtau);
+      double phase = kTwoPi * (f0_hz * dtau -
+                               slope_hz_per_s / 2.0 *
+                                   (copies[j].delay_s * copies[j].delay_s -
+                                    copies[i].delay_s * copies[i].delay_s)) +
+                     (copies[i].phase_rad - copies[j].phase_rad);
+      // Fold phase into (-π, π] for numeric hygiene.
+      phase = std::remainder(phase, kTwoPi);
+      BasebandTone tone;
+      tone.frequency_hz = freq;
+      tone.amplitude = config_.conversion_gain * copies[i].amplitude *
+                       copies[j].amplitude * lpf_response(freq);
+      tone.phase_rad = phase;
+      out.tones.push_back(tone);
+    }
+  }
+  return out;
+}
+
+double EnvelopeDetector::lpf_response(double freq_hz) const {
+  const double ratio = freq_hz / config_.lpf_cutoff_hz;
+  return 1.0 / std::sqrt(1.0 + ratio * ratio);
+}
+
+double EnvelopeDetector::output_noise_rms(double bandwidth_hz) const {
+  BIS_CHECK(bandwidth_hz > 0.0);
+  return config_.output_noise_density * std::sqrt(bandwidth_hz);
+}
+
+}  // namespace bis::rf

@@ -1,0 +1,68 @@
+#pragma once
+
+/// @file envelope_detector.hpp
+/// Square-law envelope detector with internal low-pass filter — the analog
+/// element that turns the combined two-delay-line signal into the baseband
+/// beat tone (paper Fig. 4, Eq. 9; prototype part: ADL6010). The combination
+/// of splitter + envelope detector "is essentially equivalent to a mixer".
+///
+/// We model it in the tone domain: given the set of chirp copies entering the
+/// detector (each with amplitude and delay), squaring produces
+///   - a DC term Σᵢ aᵢ²/2, and
+///   - a cross tone per pair (i, j) at frequency α·|τᵢ − τⱼ| with amplitude
+///     aᵢ·aⱼ (α = chirp slope),
+/// each attenuated by the detector's internal single-pole low-pass response.
+/// The detector also contributes an output noise floor (its NEP) that sets
+/// the tag's decoding range (paper §6 "Radar Downlink Operating Range").
+
+#include <vector>
+
+namespace bis::rf {
+
+/// One chirp copy incident at the detector input (after the delay lines).
+struct ChirpCopy {
+  double amplitude = 0.0;  ///< Voltage amplitude (√(2·P·R) scale folded in).
+  double delay_s = 0.0;    ///< Total delay of this copy.
+  double phase_rad = 0.0;  ///< Static extra phase (multipath, lines).
+};
+
+/// One baseband tone at the detector output.
+struct BasebandTone {
+  double frequency_hz = 0.0;
+  double amplitude = 0.0;
+  double phase_rad = 0.0;
+};
+
+struct EnvelopeDetectorConfig {
+  double lpf_cutoff_hz = 250e3;       ///< Internal low-pass −3 dB point.
+  double output_noise_density = 1.6e-9; ///< Output noise [V/√Hz].
+  double conversion_gain = 1.0;       ///< Square-law scale factor.
+};
+
+class EnvelopeDetector {
+ public:
+  explicit EnvelopeDetector(const EnvelopeDetectorConfig& config);
+
+  /// Compute the baseband tones produced by squaring the sum of the given
+  /// chirp copies with common slope @p slope_hz_per_s and start frequency
+  /// @p f0_hz. The DC component is returned separately.
+  struct Output {
+    double dc = 0.0;
+    std::vector<BasebandTone> tones;
+  };
+  Output mix(const std::vector<ChirpCopy>& copies, double slope_hz_per_s,
+             double f0_hz) const;
+
+  /// Magnitude response of the internal low-pass at @p freq_hz.
+  double lpf_response(double freq_hz) const;
+
+  /// RMS output noise for a sampling bandwidth of @p bandwidth_hz.
+  double output_noise_rms(double bandwidth_hz) const;
+
+  const EnvelopeDetectorConfig& config() const { return config_; }
+
+ private:
+  EnvelopeDetectorConfig config_;
+};
+
+}  // namespace bis::rf

@@ -1,0 +1,58 @@
+#include "rf/link_budget.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace bis::rf {
+
+double fspl_db(double range_m, double freq_hz) {
+  BIS_CHECK(range_m > 0.0 && freq_hz > 0.0);
+  return 20.0 * std::log10(4.0 * kPi * range_m / wavelength(freq_hz));
+}
+
+double wavelength(double freq_hz) {
+  BIS_CHECK(freq_hz > 0.0);
+  return kSpeedOfLight / freq_hz;
+}
+
+double thermal_noise_dbm(double bandwidth_hz, double nf_db) {
+  BIS_CHECK(bandwidth_hz > 0.0);
+  return kThermalNoiseDbmPerHz + 10.0 * std::log10(bandwidth_hz) + nf_db;
+}
+
+double downlink_power_at_tag_dbm(const RadarRf& radar, const TagRf& tag,
+                                 double range_m, double freq_hz) {
+  return radar.tx_power_dbm + radar.tx_gain_dbi + tag.antenna_gain_dbi -
+         fspl_db(range_m, freq_hz) - tag.decoder_insertion_loss_db;
+}
+
+double uplink_power_at_radar_dbm(const RadarRf& radar, const TagRf& tag,
+                                 double range_m, double freq_hz) {
+  // Two cascaded free-space legs through the tag antenna aperture, plus
+  // retro-reflective array gain when the Van Atta is active.
+  const double one_way = fspl_db(range_m, freq_hz);
+  double p = radar.tx_power_dbm + radar.tx_gain_dbi + radar.rx_gain_dbi +
+             2.0 * tag.antenna_gain_dbi - 2.0 * one_way - tag.modulation_loss_db;
+  if (tag.retro_reflective) p += tag.retro_gain_db;
+  return p;
+}
+
+double processing_gain_db(std::size_t n) {
+  BIS_CHECK(n > 0);
+  return 10.0 * std::log10(static_cast<double>(n));
+}
+
+double clutter_return_dbm(const RadarRf& radar, double range_m, double freq_hz,
+                          double rcs_offset_db) {
+  // Plain two-way reflection: no tag antenna aperture, no retro gain; the
+  // 0 dB reference is tuned so office furniture lands ~10 dB above a tag
+  // return at equal range.
+  const double reference_gain_db = 20.0;
+  return radar.tx_power_dbm + radar.tx_gain_dbi + radar.rx_gain_dbi -
+         2.0 * fspl_db(range_m, freq_hz) + reference_gain_db + rcs_offset_db;
+}
+
+}  // namespace bis::rf

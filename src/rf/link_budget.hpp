@@ -1,0 +1,58 @@
+#pragma once
+
+/// @file link_budget.hpp
+/// Link budgets for the two asymmetric BiScatter links:
+///  - downlink: one-way radar→tag (free-space R² loss into the tag decoder);
+///  - uplink: two-way radar→tag→radar backscatter (R⁴ loss, mitigated by the
+///    Van Atta retro-reflective gain — paper §5.1 "Uplink Performance").
+/// Calibrated against the paper's anchors: ≈16 dB equivalent downlink SNR and
+/// ≈4 dB uplink SNR at 7 m.
+
+#include <cstddef>
+
+namespace bis::rf {
+
+/// Free-space path loss [dB] over @p range_m at @p freq_hz. Requires both > 0.
+double fspl_db(double range_m, double freq_hz);
+
+/// Wavelength [m] at @p freq_hz.
+double wavelength(double freq_hz);
+
+/// Thermal noise power [dBm] in @p bandwidth_hz with noise figure @p nf_db.
+double thermal_noise_dbm(double bandwidth_hz, double nf_db = 0.0);
+
+/// Radar RF front-end parameters.
+struct RadarRf {
+  double tx_power_dbm = 7.0;   ///< 9 GHz prototype: 7 dBm; TinyRad: 8 dBm.
+  double tx_gain_dbi = 12.0;   ///< TX antenna gain.
+  double rx_gain_dbi = 12.0;   ///< RX antenna gain.
+  double noise_figure_db = 12.0;
+};
+
+/// Tag RF parameters.
+struct TagRf {
+  double antenna_gain_dbi = 5.0;     ///< Per Van Atta element.
+  double decoder_insertion_loss_db = 8.0;  ///< Splitters + delay line + connectors.
+  double retro_gain_db = 18.0;       ///< Extra two-way gain from retro-reflectivity.
+  double modulation_loss_db = 3.0;   ///< OOK on/off halves the mean reflected power.
+  bool retro_reflective = true;      ///< false = plain (non-Van-Atta) baseline tag.
+};
+
+/// One-way received power [dBm] at the tag decoder input.
+double downlink_power_at_tag_dbm(const RadarRf& radar, const TagRf& tag,
+                                 double range_m, double freq_hz);
+
+/// Two-way backscatter power [dBm] at the radar RX, before processing gain.
+double uplink_power_at_radar_dbm(const RadarRf& radar, const TagRf& tag,
+                                 double range_m, double freq_hz);
+
+/// Coherent processing gain [dB] of an N-point FFT integration.
+double processing_gain_db(std::size_t n);
+
+/// Two-way return power [dBm] of a plain (non-retro-reflective) scatterer at
+/// @p range_m whose strength is expressed as @p rcs_offset_db relative to a
+/// reference 0 dB scatterer. Used for environmental clutter.
+double clutter_return_dbm(const RadarRf& radar, double range_m, double freq_hz,
+                          double rcs_offset_db = 0.0);
+
+}  // namespace bis::rf

@@ -1,0 +1,114 @@
+#pragma once
+
+/// @file microstrip.hpp
+/// Closed-form microstrip and meander delay-line model (paper §4, Figs. 9–11).
+/// The prototype's delay line is a microstrip meander on Rogers 3006
+/// (εr = 6.15) achieving ≈1.26 ns delay over a 1 GHz bandwidth at 9 GHz in a
+/// 64 mm × 3 mm footprint. We reproduce its S11 / insertion-loss / delay
+/// curves from transmission-line physics:
+///   - Hammerstad–Jensen effective permittivity and characteristic impedance,
+///   - conductor (skin-effect) and dielectric losses,
+///   - right-angle bend discontinuities (Gupta closed forms) cascaded with
+///     the straight segments via ABCD matrices.
+
+#include <vector>
+
+#include "rf/two_port.hpp"
+
+namespace bis::rf {
+
+/// Substrate + trace geometry.
+struct MicrostripConfig {
+  double trace_width_m = 0.7e-3;
+  double substrate_height_m = 0.5e-3;
+  double epsilon_r = 6.15;          ///< Rogers 3006.
+  double loss_tangent = 0.0020;     ///< Rogers 3006.
+  double conductor_conductivity = 5.8e7;  ///< Copper [S/m].
+  double trace_thickness_m = 35e-6;       ///< 1 oz copper.
+  double bend_mitre_factor = 0.45;  ///< Mitred 90° bends retain this fraction
+                                    ///< of the un-mitred excess capacitance.
+};
+
+class Microstrip {
+ public:
+  explicit Microstrip(const MicrostripConfig& config);
+
+  /// Quasi-static effective permittivity (Hammerstad–Jensen).
+  double epsilon_eff() const;
+
+  /// Characteristic impedance [Ω] (Hammerstad–Jensen).
+  double z0() const;
+
+  /// Phase constant β [rad/m] at @p freq_hz, with simple frequency
+  /// dispersion of ε_eff (Kirschning–Jansen-style first-order correction).
+  double beta(double freq_hz) const;
+
+  /// Effective permittivity at frequency (dispersion model).
+  double epsilon_eff_at(double freq_hz) const;
+
+  /// Conductor attenuation [Np/m] at @p freq_hz.
+  double alpha_conductor(double freq_hz) const;
+
+  /// Dielectric attenuation [Np/m] at @p freq_hz.
+  double alpha_dielectric(double freq_hz) const;
+
+  /// Complex propagation constant γ = α + jβ at @p freq_hz.
+  cplx gamma(double freq_hz) const;
+
+  /// ABCD matrix of a straight segment of length @p len_m at @p freq_hz.
+  Abcd segment(double len_m, double freq_hz) const;
+
+  /// ABCD matrix of a 90° bend discontinuity at @p freq_hz (Gupta model:
+  /// shunt capacitance + series inductance).
+  Abcd bend(double freq_hz) const;
+
+  const MicrostripConfig& config() const { return config_; }
+
+ private:
+  MicrostripConfig config_;
+  double eps_eff_static_;
+  double z0_static_;
+};
+
+/// A meander line: n_sections vertical runs of section_length connected by
+/// 180° turns (two 90° bends + a short horizontal link each).
+struct MeanderConfig {
+  MicrostripConfig microstrip;
+  std::size_t n_sections = 30;
+  double section_length_m = 5.6e-3;  ///< Vertical run length.
+  double link_length_m = 0.6e-3;     ///< Horizontal link between runs.
+};
+
+class MeanderLine {
+ public:
+  explicit MeanderLine(const MeanderConfig& config);
+
+  /// Total unfolded electrical path length.
+  double total_length_m() const;
+
+  /// Full cascade ABCD at @p freq_hz.
+  Abcd network(double freq_hz) const;
+
+  /// S-parameters in a 50 Ω system at @p freq_hz.
+  SParams sparams(double freq_hz) const;
+
+  /// Group delay [s] at @p freq_hz via numeric differentiation of ∠S21.
+  double group_delay(double freq_hz, double df_hz = 1e6) const;
+
+  /// Insertion loss [dB] (−|S21| dB) at @p freq_hz.
+  double insertion_loss_db(double freq_hz) const;
+
+  /// Return loss |S11| [dB] at @p freq_hz.
+  double s11_db(double freq_hz) const;
+
+  const MeanderConfig& config() const { return config_; }
+
+  /// The paper's 9 GHz prototype line (Rogers 3006, ≈1.26 ns).
+  static MeanderLine paper_prototype_9ghz();
+
+ private:
+  MeanderConfig config_;
+  Microstrip line_;
+};
+
+}  // namespace bis::rf

@@ -1,0 +1,43 @@
+#include "rf/noise.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace bis::rf {
+
+void add_awgn(std::span<double> x, double sigma, Rng& rng) {
+  BIS_CHECK(sigma >= 0.0);
+  if (sigma == 0.0) return;
+  for (double& v : x) v += rng.gaussian(0.0, sigma);
+}
+
+void add_awgn(std::span<bis::dsp::cdouble> x, double sigma_per_component, Rng& rng) {
+  BIS_CHECK(sigma_per_component >= 0.0);
+  if (sigma_per_component == 0.0) return;
+  for (auto& v : x)
+    v += bis::dsp::cdouble(rng.gaussian(0.0, sigma_per_component),
+                           rng.gaussian(0.0, sigma_per_component));
+}
+
+double sigma_for_tone_snr(double amp, double snr_db) {
+  BIS_CHECK(amp >= 0.0);
+  const double signal_power = amp * amp / 2.0;
+  return std::sqrt(signal_power / from_db(snr_db));
+}
+
+PhaseNoise::PhaseNoise(double random_walk_rad_per_sqrt_s, Rng rng)
+    : rate_(random_walk_rad_per_sqrt_s), rng_(rng) {
+  BIS_CHECK(rate_ >= 0.0);
+}
+
+double PhaseNoise::step(double dt) {
+  BIS_CHECK(dt >= 0.0);
+  if (rate_ > 0.0 && dt > 0.0) phase_ += rng_.gaussian(0.0, rate_ * std::sqrt(dt));
+  return phase_;
+}
+
+void PhaseNoise::reset() { phase_ = 0.0; }
+
+}  // namespace bis::rf

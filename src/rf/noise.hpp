@@ -1,0 +1,45 @@
+#pragma once
+
+/// @file noise.hpp
+/// Noise injection: AWGN for thermal noise, a Wiener-process phase noise
+/// model for oscillator quality (the paper attributes the 24 GHz radar's
+/// slight edge over the 9 GHz chirp generator to "a higher quality clock and
+/// signal generator", Fig. 17 — we expose that knob here).
+
+#include <span>
+#include <vector>
+
+#include "common/random.hpp"
+#include "dsp/types.hpp"
+
+namespace bis::rf {
+
+/// Add zero-mean white Gaussian noise with the given standard deviation.
+void add_awgn(std::span<double> x, double sigma, Rng& rng);
+void add_awgn(std::span<bis::dsp::cdouble> x, double sigma_per_component, Rng& rng);
+
+/// Noise sigma that yields @p snr_db for a real sinusoid of amplitude @p amp
+/// (signal power amp²/2).
+double sigma_for_tone_snr(double amp, double snr_db);
+
+/// Oscillator phase-noise model: a discrete Wiener process whose increment
+/// variance is derived from a single-sided phase noise level. Applied as a
+/// slowly wandering phase on synthesized tones.
+class PhaseNoise {
+ public:
+  /// @p random_walk_rad_per_sqrt_s — phase diffusion rate; 0 disables.
+  PhaseNoise(double random_walk_rad_per_sqrt_s, Rng rng);
+
+  /// Advance by @p dt seconds and return the current phase offset [rad].
+  double step(double dt);
+
+  void reset();
+  double current() const { return phase_; }
+
+ private:
+  double rate_;
+  double phase_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace bis::rf

@@ -1,0 +1,29 @@
+#include "rf/rf_switch.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace bis::rf {
+
+RfSwitch::RfSwitch(const RfSwitchConfig& config) : config_(config) {
+  BIS_CHECK(config_.insertion_loss_db >= 0.0);
+  BIS_CHECK(config_.isolation_db > 0.0);
+  BIS_CHECK(config_.switching_time_s >= 0.0);
+  BIS_CHECK(config_.active_power_w >= 0.0);
+}
+
+double RfSwitch::reflective_path_amplitude() const {
+  if (state_ == SwitchState::kReflective)
+    return db_to_amplitude(-config_.insertion_loss_db);
+  return db_to_amplitude(-config_.isolation_db);
+}
+
+double RfSwitch::decoder_path_amplitude() const {
+  if (state_ == SwitchState::kAbsorptive)
+    return db_to_amplitude(-config_.insertion_loss_db);
+  return db_to_amplitude(-config_.isolation_db);
+}
+
+}  // namespace bis::rf

@@ -1,0 +1,47 @@
+#pragma once
+
+/// @file rf_switch.hpp
+/// SPDT RF switch model (paper Fig. 2; prototype part: ADRF5144). The switch
+/// sits in the middle of the Van Atta transmission line and toggles the tag
+/// between two modes:
+///  - kReflective: the line is closed → the tag retro-reflects (uplink "1");
+///  - kAbsorptive: antenna 1 is routed into the 50 Ω-matched decoder and the
+///    other antenna terminates internally → the tag absorbs and decodes.
+
+namespace bis::rf {
+
+enum class SwitchState {
+  kReflective,  ///< Van Atta line connected: retro-reflect.
+  kAbsorptive,  ///< Decoder connected: absorb + decode downlink.
+};
+
+struct RfSwitchConfig {
+  double insertion_loss_db = 0.8;   ///< Loss in the through (reflective) path.
+  double isolation_db = 35.0;       ///< Leakage into the off port.
+  double switching_time_s = 20e-9;  ///< State settle time.
+  double active_power_w = 2.86e-6;  ///< Paper §4.1: 2.86 µW.
+};
+
+class RfSwitch {
+ public:
+  explicit RfSwitch(const RfSwitchConfig& config);
+
+  void set_state(SwitchState s) { state_ = s; }
+  SwitchState state() const { return state_; }
+
+  /// Amplitude transmission factor of the reflective (Van Atta) path in the
+  /// current state: near-unity when reflective, isolation-limited leakage
+  /// when absorptive. This is the "square wave" the radar sees.
+  double reflective_path_amplitude() const;
+
+  /// Amplitude transmission into the decoder in the current state.
+  double decoder_path_amplitude() const;
+
+  const RfSwitchConfig& config() const { return config_; }
+
+ private:
+  RfSwitchConfig config_;
+  SwitchState state_ = SwitchState::kReflective;
+};
+
+}  // namespace bis::rf

@@ -1,0 +1,63 @@
+#include "rf/two_port.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace bis::rf {
+
+Abcd Abcd::cascade(const Abcd& next) const {
+  Abcd out;
+  out.a = a * next.a + b * next.c;
+  out.b = a * next.b + b * next.d;
+  out.c = c * next.a + d * next.c;
+  out.d = c * next.b + d * next.d;
+  return out;
+}
+
+Abcd Abcd::identity() { return Abcd{}; }
+
+Abcd Abcd::series_impedance(cplx z) {
+  Abcd m;
+  m.b = z;
+  return m;
+}
+
+Abcd Abcd::shunt_admittance(cplx y) {
+  Abcd m;
+  m.c = y;
+  return m;
+}
+
+Abcd Abcd::transmission_line(cplx z0, cplx gamma, double len_m) {
+  BIS_CHECK(len_m >= 0.0);
+  const cplx gl = gamma * len_m;
+  const cplx ch = std::cosh(gl);
+  const cplx sh = std::sinh(gl);
+  Abcd m;
+  m.a = ch;
+  m.b = z0 * sh;
+  m.c = sh / z0;
+  m.d = ch;
+  return m;
+}
+
+SParams abcd_to_sparams(const Abcd& m, double z0_ref) {
+  BIS_CHECK(z0_ref > 0.0);
+  const cplx z0(z0_ref, 0.0);
+  const cplx denom = m.a + m.b / z0 + m.c * z0 + m.d;
+  SParams s;
+  s.s11 = (m.a + m.b / z0 - m.c * z0 - m.d) / denom;
+  s.s21 = 2.0 / denom;
+  s.s12 = 2.0 * (m.a * m.d - m.b * m.c) / denom;
+  s.s22 = (-m.a + m.b / z0 - m.c * z0 + m.d) / denom;
+  return s;
+}
+
+double s_magnitude_db(cplx s, double floor_db) {
+  const double mag = std::abs(s);
+  if (mag <= 0.0) return floor_db;
+  return std::max(20.0 * std::log10(mag), floor_db);
+}
+
+}  // namespace bis::rf

@@ -1,0 +1,47 @@
+#pragma once
+
+/// @file two_port.hpp
+/// Two-port network algebra (ABCD / S-parameters) used to model the tag's
+/// PCB delay line as a cascade of microstrip segments and bend
+/// discontinuities (paper Figs. 9–11).
+
+#include <complex>
+
+namespace bis::rf {
+
+using cplx = std::complex<double>;
+
+/// ABCD (chain) matrix of a reciprocal two-port.
+struct Abcd {
+  cplx a{1.0, 0.0};
+  cplx b{0.0, 0.0};
+  cplx c{0.0, 0.0};
+  cplx d{1.0, 0.0};
+
+  /// Cascade: this network followed by @p next.
+  Abcd cascade(const Abcd& next) const;
+
+  static Abcd identity();
+
+  /// Series impedance element.
+  static Abcd series_impedance(cplx z);
+
+  /// Shunt admittance element.
+  static Abcd shunt_admittance(cplx y);
+
+  /// Transmission line of characteristic impedance @p z0 and complex
+  /// propagation constant @p gamma (Np/m + j·rad/m) over length @p len_m.
+  static Abcd transmission_line(cplx z0, cplx gamma, double len_m);
+};
+
+/// S-parameters of a two-port in a system of reference impedance @p z0_ref.
+struct SParams {
+  cplx s11, s12, s21, s22;
+};
+
+SParams abcd_to_sparams(const Abcd& m, double z0_ref = 50.0);
+
+/// |S| in dB (20·log10|s|), floored for zero magnitude.
+double s_magnitude_db(cplx s, double floor_db = -200.0);
+
+}  // namespace bis::rf

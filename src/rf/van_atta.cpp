@@ -1,0 +1,47 @@
+#include "rf/van_atta.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace bis::rf {
+
+VanAttaArray::VanAttaArray(const VanAttaConfig& config) : config_(config) {
+  BIS_CHECK(config_.n_elements >= 2);
+  BIS_CHECK(config_.n_elements % 2 == 0);  // Van Atta pairs
+  BIS_CHECK(config_.element_spacing_m > 0.0);
+  BIS_CHECK(config_.line_loss_db >= 0.0);
+}
+
+double VanAttaArray::retro_gain_db(double theta_rad) const {
+  // Retro-reflection: the array re-phases toward the source, so the two-way
+  // response is N² (aperture gain both ways) times the element pattern both
+  // ways, independent of θ within the element beamwidth.
+  const double n = static_cast<double>(config_.n_elements);
+  const double array_db = 20.0 * std::log10(n);
+  const double element_two_way = 2.0 * config_.element.gain_dbi(theta_rad);
+  return array_db + element_two_way - config_.line_loss_db;
+}
+
+double VanAttaArray::specular_gain_db(double theta_rad, double freq_hz) const {
+  BIS_CHECK(freq_hz > 0.0);
+  // Plain aperture baseline: monostatic response carries the two-way array
+  // factor AF²(θ), which collapses off boresight.
+  const double n = static_cast<double>(config_.n_elements);
+  const double lambda = kSpeedOfLight / freq_hz;
+  const double psi = kTwoPi * config_.element_spacing_m / lambda * std::sin(theta_rad);
+  double af;
+  if (std::abs(psi) < 1e-12) {
+    af = 1.0;
+  } else {
+    af = std::sin(n * psi) / (n * std::sin(psi));
+  }
+  const double af_two_way_db = 40.0 * std::log10(std::max(std::abs(af), 1e-6));
+  const double array_db = 20.0 * std::log10(n);
+  const double element_two_way = 2.0 * config_.element.gain_dbi(theta_rad);
+  return array_db + element_two_way + af_two_way_db - config_.line_loss_db;
+}
+
+}  // namespace bis::rf

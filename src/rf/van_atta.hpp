@@ -1,0 +1,41 @@
+#pragma once
+
+/// @file van_atta.hpp
+/// Van Atta retro-reflective array model (paper §2.3). Antenna pairs joined
+/// by equal-length transmission lines re-radiate the incident wavefront back
+/// toward its source, so the tag keeps a high backscatter SNR at any angle
+/// inside the element beamwidth — the property that keeps the uplink alive
+/// at 7 m (Fig. 15). The comparison baseline is a plain (specular) reflector
+/// whose monostatic response collapses off boresight.
+
+#include "rf/antenna.hpp"
+
+namespace bis::rf {
+
+struct VanAttaConfig {
+  std::size_t n_elements = 2;       ///< Prototype: 2-element array (Fig. 8).
+  double element_spacing_m = 0.016; ///< ~λ/2 at 9 GHz.
+  AntennaPattern element;           ///< Per-element pattern.
+  double line_loss_db = 0.5;        ///< Transmission-line loss per pair.
+};
+
+class VanAttaArray {
+ public:
+  explicit VanAttaArray(const VanAttaConfig& config);
+
+  /// Monostatic retro-reflection gain [dB] relative to a single isotropic
+  /// scatterer, at incidence angle @p theta_rad off boresight. Retro arrays
+  /// stay near peak across the element beamwidth.
+  double retro_gain_db(double theta_rad) const;
+
+  /// Same quantity for a plain phased aperture of equal size (specular
+  /// baseline): falls off with the two-way array factor.
+  double specular_gain_db(double theta_rad, double freq_hz) const;
+
+  const VanAttaConfig& config() const { return config_; }
+
+ private:
+  VanAttaConfig config_;
+};
+
+}  // namespace bis::rf

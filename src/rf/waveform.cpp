@@ -1,0 +1,45 @@
+#include "rf/waveform.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace bis::rf {
+
+ChirpFrame::ChirpFrame(std::vector<ChirpParams> chirps) : chirps_(std::move(chirps)) {}
+
+const ChirpParams& ChirpFrame::operator[](std::size_t i) const {
+  BIS_CHECK(i < chirps_.size());
+  return chirps_[i];
+}
+
+double ChirpFrame::duration() const {
+  double total = 0.0;
+  for (const auto& c : chirps_) total += c.period();
+  return total;
+}
+
+double ChirpFrame::chirp_start_time(std::size_t i) const {
+  BIS_CHECK(i <= chirps_.size());
+  double t = 0.0;
+  for (std::size_t k = 0; k < i; ++k) t += chirps_[k].period();
+  return t;
+}
+
+bool ChirpFrame::uniform_period(double tolerance_s) const {
+  if (chirps_.size() < 2) return true;
+  const double p0 = chirps_.front().period();
+  for (const auto& c : chirps_)
+    if (std::abs(c.period() - p0) > tolerance_s) return false;
+  return true;
+}
+
+bool ChirpFrame::uniform_bandwidth(double tolerance_hz) const {
+  if (chirps_.size() < 2) return true;
+  const double b0 = chirps_.front().bandwidth_hz;
+  for (const auto& c : chirps_)
+    if (std::abs(c.bandwidth_hz - b0) > tolerance_hz) return false;
+  return true;
+}
+
+}  // namespace bis::rf

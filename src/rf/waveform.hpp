@@ -1,0 +1,45 @@
+#pragma once
+
+/// @file waveform.hpp
+/// A frame is an ordered sequence of chirps. Under CSSK the chirps of one
+/// frame differ in duration (slope) but share bandwidth and period, so the
+/// frame carries a downlink packet while remaining a valid radar frame.
+
+#include <cstddef>
+#include <vector>
+
+#include "rf/chirp.hpp"
+
+namespace bis::rf {
+
+class ChirpFrame {
+ public:
+  ChirpFrame() = default;
+  explicit ChirpFrame(std::vector<ChirpParams> chirps);
+
+  const std::vector<ChirpParams>& chirps() const { return chirps_; }
+  std::size_t size() const { return chirps_.size(); }
+  bool empty() const { return chirps_.empty(); }
+  const ChirpParams& operator[](std::size_t i) const;
+
+  void push_back(const ChirpParams& c) { chirps_.push_back(c); }
+
+  /// Wall-clock duration of the whole frame (sum of chirp periods).
+  double duration() const;
+
+  /// Start time of chirp @p i relative to the frame start.
+  double chirp_start_time(std::size_t i) const;
+
+  /// True when all chirps share the same period (required by the CSSK packet
+  /// structure so the tag sees a fixed symbol cadence).
+  bool uniform_period(double tolerance_s = 1e-12) const;
+
+  /// True when all chirps share the same bandwidth (CSSK invariant that
+  /// preserves range resolution).
+  bool uniform_bandwidth(double tolerance_hz = 1e-3) const;
+
+ private:
+  std::vector<ChirpParams> chirps_;
+};
+
+}  // namespace bis::rf

@@ -1,0 +1,76 @@
+#include "tag/burst_gate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "dsp/filter.hpp"
+
+namespace bis::tag {
+
+BurstGate::BurstGate(const BurstGateConfig& config) : config_(config) {
+  BIS_CHECK(config_.smooth_window >= 1);
+  BIS_CHECK(config_.threshold_sigma > 0.0);
+  BIS_CHECK(config_.sample_rate_hz > 0.0);
+}
+
+std::vector<Burst> BurstGate::detect(const dsp::RVec& stream) const {
+  if (stream.size() < 16) return {};
+
+  // Gate on the AC (beat-tone) energy: high-pass away the DC pedestal, then
+  // smooth the rectified signal. The beat tone is present exactly while the
+  // radar sweep is active, regardless of the chirp duty cycle.
+  dsp::DcBlocker blocker(0.75);  // ~20 kHz cut: beat tones sit far above
+  const auto ac = blocker.process(stream);
+  dsp::RVec mag(ac.size());
+  for (std::size_t i = 0; i < ac.size(); ++i) mag[i] = std::abs(ac[i]);
+  const auto smooth = dsp::moving_average(mag, config_.smooth_window);
+
+  // Duty cycle is unknown (that is the symbol!), so take the noise level
+  // from the 10th percentile and the burst level from the 90th; gate at
+  // their geometric midpoint, nudged by threshold_sigma.
+  const double p10 = std::max(bis::percentile(smooth, 10.0), 1e-15);
+  const double p90 = bis::percentile(smooth, 90.0);
+  // Require real burst/idle contrast before gating at the geometric midpoint.
+  if (p90 < config_.threshold_sigma * p10) return {};
+  const double threshold = std::sqrt(p10 * p90);
+
+  const auto min_len =
+      static_cast<std::size_t>(config_.min_burst_s * config_.sample_rate_hz);
+  const auto merge_gap =
+      static_cast<std::size_t>(config_.merge_gap_s * config_.sample_rate_hz);
+
+  std::vector<Burst> bursts;
+  bool in_burst = false;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < smooth.size(); ++i) {
+    const bool above = smooth[i] > threshold;
+    if (above && !in_burst) {
+      in_burst = true;
+      start = i;
+    } else if (!above && in_burst) {
+      in_burst = false;
+      bursts.push_back(Burst{start, i - start});
+    }
+  }
+  if (in_burst) bursts.push_back(Burst{start, smooth.size() - start});
+
+  // Merge bursts separated by a short dip (tone nulls, threshold chatter).
+  std::vector<Burst> merged;
+  for (const auto& b : bursts) {
+    if (!merged.empty() &&
+        b.start - (merged.back().start + merged.back().length) <= merge_gap) {
+      merged.back().length = b.start + b.length - merged.back().start;
+    } else {
+      merged.push_back(b);
+    }
+  }
+
+  std::vector<Burst> kept;
+  for (const auto& b : merged)
+    if (b.length >= min_len) kept.push_back(b);
+  return kept;
+}
+
+}  // namespace bis::tag

@@ -1,0 +1,44 @@
+#pragma once
+
+/// @file burst_gate.hpp
+/// Chirp burst gating. The square-law detector emits a DC pedestal plus the
+/// beat tone while the radar sweep is active and only noise during the
+/// inter-chirp idle, so the envelope stream is a burst train. Gating on
+/// burst energy gives the decoder the chirp-aligned, chirp-sized analysis
+/// window that Fig. 6(e) identifies as the correct configuration — without
+/// any handshake with the radar.
+
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace bis::tag {
+
+struct Burst {
+  std::size_t start = 0;  ///< First sample index of the burst.
+  std::size_t length = 0; ///< Burst length in samples.
+};
+
+struct BurstGateConfig {
+  std::size_t smooth_window = 9;     ///< Moving-average length on |x|.
+  double threshold_sigma = 3.0;  ///< Required burst/idle contrast ratio.
+  double min_burst_s = 8e-6;         ///< Reject shorter blips.
+  double merge_gap_s = 4e-6;         ///< Merge bursts separated by less.
+  double sample_rate_hz = 500e3;
+};
+
+class BurstGate {
+ public:
+  explicit BurstGate(const BurstGateConfig& config);
+
+  /// Detect bursts in an envelope stream. The noise floor is estimated from
+  /// the lower quartile of the smoothed magnitude.
+  std::vector<Burst> detect(const dsp::RVec& stream) const;
+
+  const BurstGateConfig& config() const { return config_; }
+
+ private:
+  BurstGateConfig config_;
+};
+
+}  // namespace bis::tag

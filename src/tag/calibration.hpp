@@ -1,0 +1,60 @@
+#pragma once
+
+/// @file calibration.hpp
+/// One-time tag calibration (paper §3.2.1: "it is a common practice to
+/// estimate the actual delay-line delay (ΔT) and the expected Δf per slope
+/// … as a one-time calibration"; §5: "We run a calibration at 0.5m distance,
+/// and used the same calibration configuration for all the other
+/// experimental setups").
+///
+/// The radar sweeps every slope slot a few times at short range; the tag
+/// measures the actual beat frequency of each — which differs from the
+/// nominal Eq. 11 value because the delay line is dispersive, and which also
+/// carries the short-window estimation bias of the tag's own demodulator
+/// (image interference of the real-sampled tone). Calibration therefore
+/// runs through the *same* gating and windowing machinery as live decoding,
+/// so every systematic offset cancels at classification time.
+
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "phy/slope_alphabet.hpp"
+#include "tag/periodic_gate.hpp"
+#include "tag/tag_frontend.hpp"
+
+namespace bis::tag {
+
+struct CalibrationTable {
+  std::vector<double> slot_beat_freqs_hz;  ///< Measured Δf per slot.
+  std::vector<double> slot_phases_rad;     ///< Measured tone phase at the
+                                           ///< (gated) window start per slot;
+                                           ///< range-independent, so the
+                                           ///< 0.5 m calibration transfers.
+  bool calibrated = false;
+
+  /// Nominal table straight from Eq. 11 (the uncalibrated fallback).
+  static CalibrationTable nominal(const phy::SlopeAlphabet& alphabet);
+};
+
+struct CalibrationConfig {
+  std::size_t repeats_per_slot = 6;  ///< Chirps per slope training run.
+  double search_halfwidth_hz = 4e3;        ///< Absolute search floor.
+  double search_halfwidth_fraction = 0.35; ///< Relative widening: dielectric
+                                           ///< dispersion plus short-window
+                                           ///< estimator bias can shift the
+                                           ///< apparent Δf by tens of percent
+                                           ///< at mmWave (§4, §5.3).
+  double grid_step_hz = 100.0;             ///< Search grid resolution.
+};
+
+/// Run the calibration procedure: for each slot, receive a training run of
+/// that slope through the frontend, gate it exactly as the decoder would,
+/// and locate the apparent beat frequency with the decoder's own
+/// duration-matched Hann/Goertzel estimator.
+CalibrationTable run_calibration(TagFrontend& frontend,
+                                 const phy::SlopeAlphabet& alphabet,
+                                 double incident_amplitude_v,
+                                 const CalibrationConfig& config,
+                                 const PeriodicGateConfig& gate_config);
+
+}  // namespace bis::tag

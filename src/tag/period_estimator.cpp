@@ -1,0 +1,138 @@
+#include "tag/period_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/peak.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace bis::tag {
+
+PeriodEstimator::PeriodEstimator(const PeriodEstimatorConfig& config) : config_(config) {
+  BIS_CHECK(config_.sample_rate_hz > 0.0);
+  BIS_CHECK(config_.min_period_s > 0.0);
+  BIS_CHECK(config_.max_period_s > config_.min_period_s);
+  BIS_CHECK(config_.analysis_periods >= 3);
+}
+
+std::optional<double> PeriodEstimator::estimate(const dsp::RVec& stream,
+                                                PeriodMethod method) const {
+  switch (method) {
+    case PeriodMethod::kAutocorrelation:
+      return estimate_acf(stream);
+    case PeriodMethod::kSpectralComb:
+      return estimate_comb(stream);
+  }
+  return std::nullopt;
+}
+
+std::optional<double> PeriodEstimator::estimate_acf(const dsp::RVec& stream) const {
+  const double fs = config_.sample_rate_hz;
+  const auto need = static_cast<std::size_t>(config_.max_period_s * fs *
+                                             static_cast<double>(config_.analysis_periods));
+  if (stream.size() < static_cast<std::size_t>(config_.max_period_s * fs * 2.0))
+    return std::nullopt;
+  const std::size_t n = std::min(stream.size(), need);
+
+  // Work on the envelope's energy profile so both the DC burst structure and
+  // the in-burst tone contribute.
+  dsp::RVec x(stream.begin(), stream.begin() + static_cast<long>(n));
+  x = dsp::remove_dc(x);
+
+  // Autocorrelation via FFT (Wiener–Khinchin), zero-padded to avoid
+  // circular wraparound.
+  const std::size_t n_fft = dsp::next_power_of_two(2 * n);
+  auto spec = dsp::fft_real_padded(x, n_fft);
+  for (auto& v : spec) v = dsp::cdouble(std::norm(v), 0.0);
+  const auto acf_c = dsp::ifft(spec);
+  dsp::RVec acf(n);
+  for (std::size_t i = 0; i < n; ++i) acf[i] = acf_c[i].real();
+  if (acf[0] <= 0.0) return std::nullopt;
+
+  const auto lag_min = static_cast<std::size_t>(config_.min_period_s * fs);
+  const auto lag_max =
+      std::min(static_cast<std::size_t>(config_.max_period_s * fs), n - 1);
+  if (lag_min >= lag_max) return std::nullopt;
+
+  // Unbiased normalization so long lags are not penalized.
+  dsp::RVec norm_acf(lag_max + 1, 0.0);
+  for (std::size_t lag = lag_min; lag <= lag_max; ++lag)
+    norm_acf[lag] = acf[lag] / static_cast<double>(n - lag);
+
+  std::size_t best = lag_min;
+  for (std::size_t lag = lag_min; lag <= lag_max; ++lag)
+    if (norm_acf[lag] > norm_acf[best]) best = lag;
+
+  // The global peak may sit on a harmonic (2·T_period, 3·T_period, …):
+  // fold down while the sub-harmonic lag also shows a strong ACF value
+  // (search ±2 samples to absorb fractional-period rounding).
+  for (std::size_t divisor : {3u, 2u}) {
+    while (best / divisor >= lag_min) {
+      const std::size_t centre = best / divisor;
+      std::size_t sub_best = centre;
+      for (std::size_t lag = centre > 2 ? centre - 2 : lag_min;
+           lag <= centre + 2 && lag <= lag_max; ++lag) {
+        if (norm_acf[lag] > norm_acf[sub_best]) sub_best = lag;
+      }
+      if (norm_acf[sub_best] >= 0.45 * norm_acf[best]) {
+        best = sub_best;
+      } else {
+        break;
+      }
+    }
+  }
+
+  // Reject a flat/noisy ACF: the peak must carry a meaningful fraction of
+  // the zero-lag energy.
+  const double zero_lag = acf[0] / static_cast<double>(n);
+  if (norm_acf[best] < 0.15 * zero_lag) return std::nullopt;
+
+  const double refined = dsp::parabolic_refine(norm_acf, best);
+  return refined / fs;
+}
+
+std::optional<double> PeriodEstimator::estimate_comb(const dsp::RVec& stream) const {
+  const double fs = config_.sample_rate_hz;
+  const auto need = static_cast<std::size_t>(config_.max_period_s * fs *
+                                             static_cast<double>(config_.analysis_periods));
+  if (stream.size() < static_cast<std::size_t>(config_.max_period_s * fs * 3.0))
+    return std::nullopt;
+  const std::size_t n = std::min(stream.size(), need);
+  const std::span<const double> seg(stream.data(), n);
+
+  // Long-window FFT: the burst train produces a comb at multiples of
+  // 1/T_period. Use a harmonic product spectrum over the candidate band to
+  // find the fundamental robustly.
+  const std::size_t n_fft = dsp::next_power_of_two(n) * 4;
+  const auto p = dsp::periodogram(seg, n_fft, dsp::WindowType::kHann);
+  const double bin_hz = fs / static_cast<double>(n_fft);
+
+  const double f_lo = 1.0 / config_.max_period_s;
+  const double f_hi = 1.0 / config_.min_period_s;
+  const auto k_lo = std::max<std::size_t>(1, static_cast<std::size_t>(f_lo / bin_hz));
+  const auto k_hi = std::min(static_cast<std::size_t>(f_hi / bin_hz), p.size() - 1);
+  if (k_lo >= k_hi) return std::nullopt;
+
+  double best_score = 0.0;
+  std::size_t best_k = 0;
+  for (std::size_t k = k_lo; k <= k_hi; ++k) {
+    double score = 0.0;
+    for (std::size_t h = 1; h <= 3; ++h) {
+      const std::size_t kh = k * h;
+      if (kh < p.size()) score += std::log1p(p[kh]);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_k = k;
+    }
+  }
+  if (best_k == 0) return std::nullopt;
+  const double refined = dsp::parabolic_refine(p, best_k);
+  const double f0 = refined * bin_hz;
+  if (f0 <= 0.0) return std::nullopt;
+  return 1.0 / f0;
+}
+
+}  // namespace bis::tag

@@ -1,0 +1,49 @@
+#pragma once
+
+/// @file period_estimator.hpp
+/// Chirp-period estimation from the header field (paper §3.2.2, Fig. 6).
+/// The tag "first performs an FFT across multiple header bits … to estimate
+/// the chirp period T_period to then determine the proper FFT window size".
+/// The envelope stream during the header is a periodic burst train (tone
+/// during the sweep, noise during the idle), so its period shows up both as
+/// a comb in the long-window spectrum and as the first major peak of the
+/// autocorrelation. We implement both estimators; the autocorrelation
+/// (Wiener–Khinchin via FFT) is the default for robustness.
+
+#include <optional>
+
+#include "dsp/types.hpp"
+
+namespace bis::tag {
+
+struct PeriodEstimatorConfig {
+  double sample_rate_hz = 500e3;
+  double min_period_s = 30e-6;   ///< Search bounds for T_period.
+  double max_period_s = 500e-6;
+  std::size_t analysis_periods = 6;  ///< Header length used for analysis.
+};
+
+enum class PeriodMethod {
+  kAutocorrelation,  ///< ACF peak in the lag window (default).
+  kSpectralComb,     ///< Long-FFT comb fundamental (paper's description).
+};
+
+class PeriodEstimator {
+ public:
+  explicit PeriodEstimator(const PeriodEstimatorConfig& config);
+
+  /// Estimate the chirp period from the start of an envelope stream.
+  /// Returns std::nullopt when no periodicity is found in bounds.
+  std::optional<double> estimate(const dsp::RVec& stream,
+                                 PeriodMethod method = PeriodMethod::kAutocorrelation) const;
+
+  const PeriodEstimatorConfig& config() const { return config_; }
+
+ private:
+  std::optional<double> estimate_acf(const dsp::RVec& stream) const;
+  std::optional<double> estimate_comb(const dsp::RVec& stream) const;
+
+  PeriodEstimatorConfig config_;
+};
+
+}  // namespace bis::tag

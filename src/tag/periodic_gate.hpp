@@ -1,0 +1,54 @@
+#pragma once
+
+/// @file periodic_gate.hpp
+/// Period-folded chirp windowing — the paper's Fig. 6(e) condition realized
+/// the way §3.2.2 describes it: the tag first estimates the chirp period
+/// from the preamble, then derives the chirp-aligned analysis window for
+/// every period. Folding the envelope's AC energy modulo the period makes
+/// the common chirp-start offset stand out even when individual chirps are
+/// noisy, because every chirp in the packet starts at the same phase of the
+/// period (only the chirp *end* varies with the CSSK symbol).
+
+#include <optional>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace bis::tag {
+
+struct PeriodicWindow {
+  std::size_t start = 0;    ///< First sample of the chirp's active sweep.
+  std::size_t length = 0;   ///< Active-sweep samples in this period.
+  bool burst_present = false;  ///< False when this period carried no energy
+                               ///< (e.g. the tag was reflective that chirp).
+};
+
+struct PeriodicGateConfig {
+  double sample_rate_hz = 500e3;
+  double min_burst_s = 10e-6;   ///< Shorter windows are unreliable.
+  std::size_t smooth_window = 5;
+  double min_contrast = 6.0;  ///< Required (burst−idle)/idle-spread ratio;
+                              ///< folded pure noise reaches ≈3.5.
+  double max_dip_s = 8e-6;      ///< Tolerated in-burst dip; must cover half
+                                ///< a cycle of the lowest beat tone (the
+                                ///< pedestal+tone sum swings through zero
+                                ///< at every tone trough).
+};
+
+class PeriodicGate {
+ public:
+  explicit PeriodicGate(const PeriodicGateConfig& config);
+
+  /// Slice @p stream into per-period chirp windows given the estimated
+  /// period in seconds. Returns std::nullopt when no consistent chirp-start
+  /// phase is found.
+  std::optional<std::vector<PeriodicWindow>> slice(const dsp::RVec& stream,
+                                                   double period_s) const;
+
+  const PeriodicGateConfig& config() const { return config_; }
+
+ private:
+  PeriodicGateConfig config_;
+};
+
+}  // namespace bis::tag

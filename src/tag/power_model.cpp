@@ -1,0 +1,46 @@
+#include "tag/power_model.hpp"
+
+#include "common/check.hpp"
+
+namespace bis::tag {
+
+PowerModel::PowerModel(const TagPowerConfig& config) : config_(config) {
+  BIS_CHECK(config_.downlink_fraction > 0.0 && config_.downlink_fraction <= 1.0);
+}
+
+double PowerModel::average_power_w(TagOperatingMode mode) const {
+  double total = 0.0;
+  for (const auto& c : breakdown(mode)) total += c.active_power_w;
+  return total;
+}
+
+std::vector<PowerComponent> PowerModel::breakdown(TagOperatingMode mode) const {
+  std::vector<PowerComponent> parts;
+  if (mode == TagOperatingMode::kContinuous) {
+    parts.push_back({"RF switch", config_.rf_switch_active_w, 0.0});
+    parts.push_back({"Envelope detector", config_.envelope_detector_w, 0.0});
+    parts.push_back({"MCU (1 MHz, ADC + Goertzel)", config_.mcu_active_w,
+                     config_.mcu_sleep_w});
+  } else {
+    const double d = config_.downlink_fraction;
+    const double u = 1.0 - d;
+    // Downlink interval: MCU + detector active. Uplink interval: MCU asleep,
+    // PWM drives the switch.
+    parts.push_back({"RF switch (PWM during uplink)",
+                     config_.rf_switch_active_w * d + config_.pwm_uplink_w * u, 0.0});
+    parts.push_back({"Envelope detector (downlink only)",
+                     config_.envelope_detector_w * d, 0.0});
+    parts.push_back({"MCU (sleeps during uplink)",
+                     config_.mcu_active_w * d + config_.mcu_sleep_w * u,
+                     config_.mcu_sleep_w});
+  }
+  return parts;
+}
+
+double PowerModel::energy_per_bit_j(TagOperatingMode mode,
+                                    double downlink_rate_bps) const {
+  BIS_CHECK(downlink_rate_bps > 0.0);
+  return average_power_w(mode) / downlink_rate_bps;
+}
+
+}  // namespace bis::tag

@@ -1,0 +1,96 @@
+#include "tag/symbol_demod.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "dsp/tone_fit.hpp"
+#include "dsp/window.hpp"
+
+namespace bis::tag {
+
+SymbolDemod::SymbolDemod(const SymbolDemodConfig& config)
+    : config_(config), bank_(config.slot_beat_freqs_hz, config.sample_rate_hz) {
+  BIS_CHECK(config_.guard_fraction >= 0.0 && config_.guard_fraction < 0.4);
+  BIS_CHECK_MSG(config_.slot_beat_freqs_hz.size() >= 2,
+                "alphabet needs at least two slots");
+  BIS_CHECK(config_.slot_durations_s.empty() ||
+            config_.slot_durations_s.size() == config_.slot_beat_freqs_hz.size());
+}
+
+std::size_t SymbolDemod::analysis_length(double duration_s, double sample_rate_hz) {
+  const auto n = static_cast<long long>(std::llround(duration_s * sample_rate_hz));
+  return static_cast<std::size_t>(std::max<long long>(4, n - 2));
+}
+
+namespace {
+
+/// Shared scorer: Hann-tapered GLRT with DC nuisance (see dsp/tone_fit.hpp).
+/// The DC-nuisance least-squares fit stays well-behaved even when the
+/// window holds only ~1 beat cycle (small-bandwidth / short-delay-line
+/// configurations), where mean-removal + DFT-bin methods collapse.
+std::vector<double> score_bank(std::span<const double> window,
+                               const std::vector<double>& freqs,
+                               const std::vector<double>& phases, double fs) {
+  // √Hann weights: the GLRT minimizes Σw²(x−model)², so the effective
+  // taper is w² = Hann.
+  auto w = bis::dsp::make_window(bis::dsp::WindowType::kHann, window.size());
+  for (double& v : w) v = std::sqrt(v);
+  if (phases.empty()) return bis::dsp::tone_glrt_scores(window, freqs, fs, w);
+  std::vector<double> out(freqs.size());
+  for (std::size_t i = 0; i < freqs.size(); ++i)
+    out[i] = bis::dsp::tone_known_phase_score(window, freqs[i], phases[i], fs, w);
+  return out;
+}
+
+SymbolDemod::Result pick(std::vector<double> powers) {
+  SymbolDemod::Result r;
+  r.powers = std::move(powers);
+  r.slot = 0;
+  for (std::size_t i = 1; i < r.powers.size(); ++i)
+    if (r.powers[i] > r.powers[r.slot]) r.slot = i;
+  r.peak_power = r.powers[r.slot];
+  double runner_up = 0.0;
+  for (std::size_t i = 0; i < r.powers.size(); ++i)
+    if (i != r.slot) runner_up = std::max(runner_up, r.powers[i]);
+  r.confidence = runner_up > 0.0 ? r.peak_power / runner_up : r.peak_power;
+  return r;
+}
+
+}  // namespace
+
+SymbolDemod::Result SymbolDemod::classify(std::span<const double> window) const {
+  BIS_CHECK(window.size() >= 4);
+  const auto guard = static_cast<std::size_t>(
+      config_.guard_fraction * static_cast<double>(window.size()));
+  const auto core = window.subspan(guard, window.size() - 2 * guard);
+  return pick(score_bank(core, config_.slot_beat_freqs_hz,
+                         config_.slot_phases_rad, config_.sample_rate_hz));
+}
+
+SymbolDemod::Result SymbolDemod::classify_matched(
+    std::span<const double> period_samples) const {
+  BIS_CHECK_MSG(!config_.slot_durations_s.empty(),
+                "classify_matched requires slot_durations_s");
+  BIS_CHECK(period_samples.size() >= 4);
+  const double fs = config_.sample_rate_hz;
+
+  std::vector<double> powers(config_.slot_beat_freqs_hz.size(), 0.0);
+  for (std::size_t i = 0; i < powers.size(); ++i) {
+    const std::size_t len = std::min(
+        analysis_length(config_.slot_durations_s[i], fs), period_samples.size());
+    if (len < 4) continue;
+    const auto core = period_samples.first(len);
+    auto w = dsp::make_window(dsp::WindowType::kHann, len);
+    for (double& v : w) v = std::sqrt(v);
+    // GLRT normalization per window length so longer fully-filled windows
+    // win on signal, not size.
+    double w_energy = 0.0;
+    for (double v : w) w_energy += v * v;
+    powers[i] = dsp::tone_glrt_score(core, config_.slot_beat_freqs_hz[i], fs, w) /
+                std::max(w_energy, 1e-30);
+  }
+  return pick(std::move(powers));
+}
+
+}  // namespace bis::tag

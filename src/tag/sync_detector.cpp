@@ -1,0 +1,51 @@
+#include "tag/sync_detector.hpp"
+
+#include "common/check.hpp"
+#include "dsp/filter.hpp"
+#include "dsp/goertzel.hpp"
+
+namespace bis::tag {
+
+SyncDetector::SyncDetector(const SyncDetectorConfig& config) : config_(config) {
+  BIS_CHECK(config_.sample_rate_hz > 0.0);
+  BIS_CHECK(config_.header_beat_hz > 0.0);
+  BIS_CHECK(config_.sync_beat_hz > 0.0);
+  BIS_CHECK(config_.header_beat_hz != config_.sync_beat_hz);
+  BIS_CHECK(config_.window_s > 0.0);
+  BIS_CHECK(config_.dominance_ratio >= 1.0);
+}
+
+std::optional<SyncResult> SyncDetector::find_sync(const dsp::RVec& stream) const {
+  const auto window_len = static_cast<std::size_t>(
+      config_.window_s * config_.sample_rate_hz);
+  if (window_len < 4 || stream.size() < window_len) return std::nullopt;
+
+  dsp::SlidingGoertzel header(config_.header_beat_hz, config_.sample_rate_hz,
+                              window_len);
+  dsp::SlidingGoertzel sync(config_.sync_beat_hz, config_.sample_rate_hz, window_len);
+  dsp::DcBlocker blocker(0.98);
+
+  bool header_seen = false;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const double x = blocker.process(stream[i]);
+    const double hp = header.push(x);
+    const double sp = sync.push(x);
+    if (!header.full()) continue;
+    if (!header_seen) {
+      if (hp > config_.dominance_ratio * sp && hp > 0.0) header_seen = true;
+      continue;
+    }
+    if (sp > config_.dominance_ratio * hp && sp > 0.0) {
+      SyncResult r;
+      // The window trails the current index; the transition happened around
+      // the window start.
+      r.sync_start_sample = i >= window_len ? i - window_len : 0;
+      r.header_power = hp;
+      r.sync_power = sp;
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bis::tag

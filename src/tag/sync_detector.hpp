@@ -1,0 +1,47 @@
+#pragma once
+
+/// @file sync_detector.hpp
+/// Preamble sync search (paper §3.2.2): "The tag then performs a sliding FFT
+/// with the estimated window size over the preamble to identify the sync
+/// bits and synchronize the data payload for decoding."
+///
+/// Implemented with the O(1)-per-sample sliding Goertzel at the two reserved
+/// preamble beat frequencies: the sample index where dominance flips from
+/// the header tone to the sync tone marks the header→sync boundary, and the
+/// payload starts a fixed number of chirp periods later.
+
+#include <optional>
+
+#include "dsp/types.hpp"
+
+namespace bis::tag {
+
+struct SyncDetectorConfig {
+  double sample_rate_hz = 500e3;
+  double header_beat_hz = 0.0;  ///< Calibrated Δf of the header slope.
+  double sync_beat_hz = 0.0;    ///< Calibrated Δf of the sync slope.
+  double window_s = 16e-6;      ///< Sliding window (≲ shortest chirp).
+  double dominance_ratio = 2.0; ///< Sync power must exceed header by this.
+};
+
+struct SyncResult {
+  std::size_t sync_start_sample = 0;  ///< First sample where sync dominates.
+  double header_power = 0.0;
+  double sync_power = 0.0;
+};
+
+class SyncDetector {
+ public:
+  explicit SyncDetector(const SyncDetectorConfig& config);
+
+  /// Scan the stream for the header→sync transition. Returns std::nullopt
+  /// when the sync tone never dominates.
+  std::optional<SyncResult> find_sync(const dsp::RVec& stream) const;
+
+  const SyncDetectorConfig& config() const { return config_; }
+
+ private:
+  SyncDetectorConfig config_;
+};
+
+}  // namespace bis::tag

@@ -1,0 +1,121 @@
+#include "tag/tag_frontend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace bis::tag {
+
+TagFrontend::TagFrontend(const TagFrontendConfig& config, Rng rng)
+    : config_(config),
+      delay_line_(config.delay_line),
+      envelope_(config.envelope),
+      adc_(config.adc),
+      switch_(config.rf_switch),
+      rng_(rng) {
+  BIS_CHECK(config_.pga_max_gain >= 1.0);
+}
+
+void TagFrontend::auto_gain(std::span<const IncidentPath> paths) {
+  // Expected detector output amplitude for the strongest path's self-beat.
+  double strongest = 0.0;
+  for (const auto& p : paths) strongest = std::max(strongest, p.amplitude_v);
+  const double sw = switch_.config().insertion_loss_db;
+  const double a = strongest * db_to_amplitude(-sw);
+  // Per-line amplitude after the 2-way split (−3 dB each leg).
+  const double a_line = a / std::sqrt(2.0);
+  const double tone = envelope_.config().conversion_gain * a_line * a_line;
+  if (tone <= 0.0) {
+    gain_ = 1.0;
+    return;
+  }
+  const double target = 0.4 * adc_.config().full_scale;
+  double g = target / tone;
+  g = std::clamp(g, 1.0, config_.pga_max_gain);
+  // Quantize to power-of-two PGA steps.
+  gain_ = std::pow(2.0, std::floor(std::log2(g)));
+}
+
+double TagFrontend::output_noise_rms() const {
+  const double analog =
+      envelope_.output_noise_rms(adc_.sample_rate() / 2.0) * gain_;
+  // ADC quantization noise (LSB/√12) adds in quadrature.
+  const double q = adc_.lsb() / std::sqrt(12.0);
+  return std::sqrt(analog * analog + q * q);
+}
+
+dsp::RVec TagFrontend::receive_chirp_period(const rf::ChirpParams& chirp,
+                                            std::span<const IncidentPath> paths,
+                                            bool absorptive) {
+  BIS_CHECK(chirp.valid());
+  switch_.set_state(absorptive ? rf::SwitchState::kAbsorptive
+                               : rf::SwitchState::kReflective);
+  const double route = switch_.decoder_path_amplitude();
+
+  // Build the set of chirp copies at the combiner: two per path (short and
+  // long delay line). The split into two lines costs 3 dB of amplitude per
+  // leg; the long line additionally suffers its differential insertion loss.
+  const double f_center = chirp.center_frequency_hz();
+  const double delta_t = delay_line_.delta_t(f_center);
+  const double long_line_scale =
+      db_to_amplitude(-delay_line_.insertion_loss_db(f_center));
+
+  std::vector<rf::ChirpCopy> copies;
+  copies.reserve(paths.size() * 2);
+  for (const auto& p : paths) {
+    const double a = p.amplitude_v * route / std::sqrt(2.0);
+    copies.push_back({a, p.excess_delay_s, p.phase_rad});
+    copies.push_back({a * long_line_scale, p.excess_delay_s + delta_t, p.phase_rad});
+  }
+
+  auto mixed = envelope_.mix(copies, chirp.slope(), chirp.start_frequency_hz);
+
+  if (!config_.model_multipath_cross_terms) {
+    // Keep only the per-path self-beats (tones at exactly α·ΔT).
+    std::vector<rf::BasebandTone> kept;
+    for (const auto& t : mixed.tones) {
+      if (std::abs(t.frequency_hz - chirp.slope() * delta_t) <
+          0.01 * chirp.slope() * delta_t)
+        kept.push_back(t);
+    }
+    mixed.tones = std::move(kept);
+  }
+
+  // Synthesize the ADC stream for the full period: tones + DC during the
+  // active sweep, detector noise throughout, PGA, quantization.
+  const std::size_t n_total = adc_.samples_for(chirp.period());
+  const std::size_t n_active = std::min(adc_.samples_for(chirp.duration_s), n_total);
+  const double dt = 1.0 / adc_.sample_rate();
+  const double noise_rms = envelope_.output_noise_rms(adc_.sample_rate() / 2.0);
+
+  dsp::RVec out(n_total, 0.0);
+  for (std::size_t i = 0; i < n_active; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    double v = mixed.dc;
+    for (const auto& tone : mixed.tones)
+      v += tone.amplitude * std::cos(kTwoPi * tone.frequency_hz * t + tone.phase_rad);
+    out[i] = v;
+  }
+  for (std::size_t i = 0; i < n_total; ++i) {
+    out[i] = gain_ * (out[i] + rng_.gaussian(0.0, noise_rms));
+    out[i] = adc_.quantize(out[i]);
+  }
+  return out;
+}
+
+dsp::RVec TagFrontend::receive_frame(std::span<const rf::ChirpParams> chirps,
+                                     std::span<const IncidentPath> paths,
+                                     std::span<const bool> absorptive) {
+  BIS_CHECK(chirps.size() == absorptive.size());
+  dsp::RVec stream;
+  for (std::size_t i = 0; i < chirps.size(); ++i) {
+    const auto chunk = receive_chirp_period(chirps[i], paths, absorptive[i]);
+    stream.insert(stream.end(), chunk.begin(), chunk.end());
+  }
+  return stream;
+}
+
+}  // namespace bis::tag

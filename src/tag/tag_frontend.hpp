@@ -1,0 +1,89 @@
+#pragma once
+
+/// @file tag_frontend.hpp
+/// Analog simulation of the tag's decoder chain (paper Fig. 4): the incident
+/// radar chirp splits into two delay lines of different length, recombines,
+/// and is envelope-detected, yielding a baseband tone at Δf = α·ΔT — the
+/// quantity the CSSK demodulator classifies. This model synthesizes the
+/// envelope-detector output sampled by the tag's kHz-class ADC, including:
+///   - the DC term of the square-law detector (bursts mark chirp on-time,
+///     which the decoding algorithm exploits for window alignment),
+///   - multipath: every propagation path contributes a chirp copy, and all
+///     pairs of copies beat against each other (spurious tones at α·Δτ and
+///     α·(Δτ ± ΔT)),
+///   - delay-line dispersion (why calibration exists), differential
+///     insertion loss, switch isolation, detector noise, PGA and ADC
+///     quantization.
+
+#include <span>
+#include <vector>
+
+#include "common/random.hpp"
+#include "dsp/types.hpp"
+#include "rf/adc.hpp"
+#include "rf/chirp.hpp"
+#include "rf/delay_line.hpp"
+#include "rf/envelope_detector.hpp"
+#include "rf/rf_switch.hpp"
+
+namespace bis::tag {
+
+/// One propagation path arriving at the tag antenna.
+struct IncidentPath {
+  double amplitude_v = 0.0;   ///< Voltage amplitude at the decoder input.
+  double excess_delay_s = 0;  ///< Delay relative to the LoS path.
+  double phase_rad = 0.0;
+};
+
+struct TagFrontendConfig {
+  rf::DelayLineConfig delay_line;
+  rf::EnvelopeDetectorConfig envelope;
+  rf::AdcConfig adc{500e3, 12, 1.0};  ///< kHz-class MCU ADC.
+  rf::RfSwitchConfig rf_switch;
+  double pga_max_gain = 1e7;  ///< Programmable gain amplifier ceiling.
+  bool model_multipath_cross_terms = true;
+};
+
+class TagFrontend {
+ public:
+  TagFrontend(const TagFrontendConfig& config, Rng rng);
+
+  /// Envelope-detector/ADC samples for one full chirp *period* (active sweep
+  /// followed by the inter-chirp idle). @p paths describes the incident
+  /// signal; @p absorptive selects the switch routing — a reflective chirp
+  /// reaches the decoder only through switch isolation.
+  dsp::RVec receive_chirp_period(const rf::ChirpParams& chirp,
+                                 std::span<const IncidentPath> paths,
+                                 bool absorptive);
+
+  /// Convenience: a whole frame of chirps with per-chirp switch states
+  /// (states.size() must equal chirps.size(); true = absorptive).
+  dsp::RVec receive_frame(std::span<const rf::ChirpParams> chirps,
+                          std::span<const IncidentPath> paths,
+                          std::span<const bool> absorptive);
+
+  /// Pick (and latch) a PGA gain so a tone of the given input amplitude
+  /// spans roughly half the ADC range. Called once per frame by the MCU's
+  /// AGC loop; power-of-two gain steps model a real PGA.
+  void auto_gain(std::span<const IncidentPath> paths);
+
+  double gain() const { return gain_; }
+  double sample_rate() const { return config_.adc.sample_rate_hz; }
+
+  /// RMS of the noise at the ADC input (after PGA) — the decoder threshold
+  /// baseline.
+  double output_noise_rms() const;
+
+  const TagFrontendConfig& config() const { return config_; }
+
+ private:
+  TagFrontendConfig config_;
+  rf::DelayLinePair delay_line_;
+  rf::EnvelopeDetector envelope_;
+  rf::Adc adc_;
+  rf::RfSwitch switch_;
+  Rng rng_;
+  double gain_ = 1.0;
+};
+
+}  // namespace bis::tag

@@ -1,0 +1,51 @@
+#include "tag/tag_modulator.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace bis::tag {
+
+TagModulator::TagModulator(phy::UplinkConfig config) : config_(std::move(config)) {
+  phy::validate_uplink_config(config_);
+}
+
+void TagModulator::queue_bits(const phy::Bits& bits) {
+  BIS_CHECK(phy::is_bit_vector(bits));
+  queue_.insert(queue_.end(), bits.begin(), bits.end());
+}
+
+std::vector<int> TagModulator::next_states(std::size_t n_chirps) {
+  std::vector<int> out;
+  out.reserve(n_chirps);
+
+  while (out.size() < n_chirps) {
+    if (!pending_states_.empty()) {
+      const std::size_t take =
+          std::min(n_chirps - out.size(), pending_states_.size());
+      out.insert(out.end(), pending_states_.begin(),
+                 pending_states_.begin() + static_cast<long>(take));
+      pending_states_.erase(pending_states_.begin(),
+                            pending_states_.begin() + static_cast<long>(take));
+      continue;
+    }
+    const std::size_t bps = phy::uplink_bits_per_symbol(config_);
+    if (queue_.size() >= bps) {
+      // Modulate the next whole symbol.
+      phy::Bits symbol_bits(queue_.begin(), queue_.begin() + static_cast<long>(bps));
+      queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(bps));
+      pending_states_ = phy::uplink_modulate(config_, symbol_bits);
+    } else {
+      // Beacon: keep toggling at the assigned frequency so the radar can
+      // localize the tag between messages.
+      const double f = config_.mod_frequencies_hz.front();
+      const double t =
+          static_cast<double>(beacon_chirp_index_++) * config_.chirp_period_s;
+      const double phase = t * f - std::floor(t * f);
+      out.push_back(phase < config_.duty_cycle ? 1 : 0);
+    }
+  }
+  return out;
+}
+
+}  // namespace bis::tag

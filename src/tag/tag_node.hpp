@@ -1,0 +1,88 @@
+#pragma once
+
+/// @file tag_node.hpp
+/// A complete BiScatter tag: analog frontend + downlink decoder + uplink
+/// modulator + calibration state + power accounting (paper Fig. 2). This is
+/// the object applications hold; the lower-level pieces remain usable
+/// directly.
+
+#include <cstdint>
+#include <optional>
+
+#include "phy/packet.hpp"
+#include "phy/slope_alphabet.hpp"
+#include "tag/calibration.hpp"
+#include "tag/power_model.hpp"
+#include "tag/tag_decoder.hpp"
+#include "tag/tag_frontend.hpp"
+#include "tag/tag_modulator.hpp"
+
+namespace bis::tag {
+
+struct TagNodeConfig {
+  TagFrontendConfig frontend;
+  phy::UplinkConfig uplink;
+  TagPowerConfig power;
+  std::optional<std::uint8_t> address;  ///< For addressed downlink packets.
+  std::size_t min_header_run = 3;
+  std::size_t expected_header_chirps = 8;  ///< Must match the packet config.
+  std::size_t expected_sync_chirps = 3;    ///< Must match the packet config.
+  TagOperatingMode mode = TagOperatingMode::kContinuous;
+};
+
+class TagNode {
+ public:
+  /// The tag must know the alphabet geometry (slot layout); its beat-
+  /// frequency table starts as the nominal Eq. 11 prediction until
+  /// calibrate() replaces it with measured values.
+  TagNode(const TagNodeConfig& config, const phy::SlopeAlphabet& alphabet, Rng rng);
+
+  /// Run the one-time calibration procedure at the given incident amplitude.
+  void calibrate(double incident_amplitude_v,
+                 const CalibrationConfig& cal_config = {});
+  bool calibrated() const { return calibration_.calibrated; }
+  const CalibrationTable& calibration() const { return calibration_; }
+
+  /// Capture + decode a downlink stream (frame of envelope samples).
+  struct DownlinkReception {
+    DownlinkDecodeResult decode;
+    phy::ParsedPacket packet;
+  };
+  DownlinkReception receive_downlink(const dsp::RVec& stream,
+                                     const phy::PacketConfig& packet_config,
+                                     const std::vector<bool>& absorptive_mask = {});
+
+  TagFrontend& frontend() { return frontend_; }
+  TagModulator& modulator() { return modulator_; }
+  const PowerModel& power() const { return power_; }
+  TagOperatingMode mode() const { return config_.mode; }
+  std::optional<std::uint8_t> address() const { return config_.address; }
+
+  /// Rebuild the decoder from the current calibration table.
+  void rebuild_decoder();
+
+  /// Decoder configuration derived from the alphabet + calibration state.
+  TagDecoderConfig make_decoder_config() const;
+
+  const TagDecoder& decoder() const { return *decoder_; }
+
+ private:
+  TagNodeConfig config_;
+  phy::SlopeAlphabetConfig alphabet_config_;
+  std::size_t header_slot_;
+  std::size_t sync_slot_;
+  std::size_t first_data_slot_;
+  bool gray_coding_;
+  std::size_t bits_per_symbol_;
+  std::vector<double> slot_durations_s_;
+  double min_duration_s_;
+  double max_duration_s_;
+
+  TagFrontend frontend_;
+  TagModulator modulator_;
+  PowerModel power_;
+  CalibrationTable calibration_;
+  std::optional<TagDecoder> decoder_;
+};
+
+}  // namespace bis::tag

@@ -1,0 +1,159 @@
+// Bit utilities, CRC, FEC.
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "phy/bits.hpp"
+#include "phy/crc.hpp"
+#include "phy/fec.hpp"
+
+namespace bis::phy {
+namespace {
+
+TEST(Bits, BytesRoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0xFF, 0xA5, 0x3C};
+  const auto bits = bytes_to_bits(bytes);
+  ASSERT_EQ(bits.size(), 32u);
+  EXPECT_EQ(bits_to_bytes(bits), bytes);
+}
+
+TEST(Bits, MsbFirst) {
+  const std::vector<std::uint8_t> bytes = {0x80};
+  const auto bits = bytes_to_bits(bytes);
+  EXPECT_EQ(bits[0], 1);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(bits[i], 0);
+}
+
+TEST(Bits, StringRoundTrip) {
+  const std::string s = "BiScatter!";
+  EXPECT_EQ(bits_to_string(string_to_bits(s)), s);
+}
+
+TEST(Bits, SymbolsRoundTrip) {
+  Rng rng(3);
+  for (std::size_t bps : {1u, 2u, 5u, 8u}) {
+    const auto bits = rng.bits(7 * bps);
+    const auto symbols = bits_to_symbols(bits, bps);
+    EXPECT_EQ(symbols.size(), 7u);
+    EXPECT_EQ(symbols_to_bits(symbols, bps), bits);
+  }
+}
+
+TEST(Bits, SymbolPaddingZeros) {
+  const Bits bits = {1, 1, 1};
+  const auto symbols = bits_to_symbols(bits, 2);
+  ASSERT_EQ(symbols.size(), 2u);
+  EXPECT_EQ(symbols[0], 3u);  // 11
+  EXPECT_EQ(symbols[1], 2u);  // 1 + pad 0
+}
+
+TEST(Bits, SymbolValuesMsbFirst) {
+  const Bits bits = {1, 0, 1, 1, 0};
+  const auto symbols = bits_to_symbols(bits, 5);
+  EXPECT_EQ(symbols[0], 0b10110u);
+}
+
+TEST(Bits, HammingDistance) {
+  const Bits a = {1, 0, 1, 1};
+  const Bits b = {1, 1, 1, 0};
+  EXPECT_EQ(hamming_distance(a, b), 2u);
+  const Bits c = {1, 0};
+  EXPECT_EQ(hamming_distance(a, c), 2u);  // 2 missing positions
+}
+
+TEST(Bits, Validation) {
+  EXPECT_TRUE(is_bit_vector(std::vector<int>{0, 1, 1, 0}));
+  EXPECT_FALSE(is_bit_vector(std::vector<int>{0, 2}));
+  EXPECT_THROW(bits_to_bytes(std::vector<int>{1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Crc8, DetectsSingleBitFlips) {
+  Rng rng(5);
+  const auto payload = rng.bits(64);
+  const auto framed = append_crc8(payload);
+  Bits out;
+  EXPECT_TRUE(check_and_strip_crc8(framed, out));
+  EXPECT_EQ(out, payload);
+  for (std::size_t i = 0; i < framed.size(); i += 7) {
+    auto corrupted = framed;
+    corrupted[i] ^= 1;
+    EXPECT_FALSE(check_and_strip_crc8(corrupted, out)) << "bit " << i;
+  }
+}
+
+TEST(Crc8, DifferentPayloadsDifferentCrc) {
+  const std::uint8_t a = crc8(std::vector<int>{1, 0, 1});
+  const std::uint8_t b = crc8(std::vector<int>{1, 0, 0});
+  EXPECT_NE(a, b);
+}
+
+TEST(Crc16, KnownVectorAndFlips) {
+  // CRC-16-CCITT of "123456789" (0x31..0x39) = 0x29B1.
+  const auto bits = string_to_bits("123456789");
+  EXPECT_EQ(crc16_ccitt(bits), 0x29B1);
+
+  Rng rng(6);
+  const auto payload = rng.bits(80);
+  const auto framed = append_crc16(payload);
+  Bits out;
+  EXPECT_TRUE(check_and_strip_crc16(framed, out));
+  auto corrupted = framed;
+  corrupted[40] ^= 1;
+  EXPECT_FALSE(check_and_strip_crc16(corrupted, out));
+}
+
+TEST(Crc, TooShortInputRejected) {
+  Bits out;
+  EXPECT_FALSE(check_and_strip_crc8(std::vector<int>{1, 0, 1}, out));
+  EXPECT_FALSE(check_and_strip_crc16(std::vector<int>{1}, out));
+}
+
+TEST(Hamming74, RoundTripNoErrors) {
+  Rng rng(7);
+  const auto data = rng.bits(40);
+  const auto coded = hamming74_encode(data);
+  EXPECT_EQ(coded.size(), 70u);
+  const auto decoded = hamming74_decode(coded);
+  EXPECT_EQ(decoded.corrected_errors, 0u);
+  EXPECT_EQ(decoded.data, data);
+}
+
+TEST(Hamming74, CorrectsEverySingleBitError) {
+  Rng rng(8);
+  const auto data = rng.bits(4);
+  const auto coded = hamming74_encode(data);
+  for (std::size_t i = 0; i < 7; ++i) {
+    auto corrupted = coded;
+    corrupted[i] ^= 1;
+    const auto decoded = hamming74_decode(corrupted);
+    EXPECT_EQ(decoded.data, data) << "error at " << i;
+    EXPECT_EQ(decoded.corrected_errors, 1u);
+  }
+}
+
+TEST(Hamming74, PadsPartialBlock) {
+  const Bits data = {1, 0, 1};  // padded to 4
+  const auto coded = hamming74_encode(data);
+  EXPECT_EQ(coded.size(), 7u);
+  const auto decoded = hamming74_decode(coded);
+  EXPECT_EQ(decoded.data[0], 1);
+  EXPECT_EQ(decoded.data[1], 0);
+  EXPECT_EQ(decoded.data[2], 1);
+  EXPECT_EQ(decoded.data[3], 0);
+}
+
+TEST(Repetition, MajorityDecodes) {
+  const Bits data = {1, 0, 1};
+  auto coded = repetition_encode(data, 3);
+  EXPECT_EQ(coded.size(), 9u);
+  coded[0] ^= 1;  // one error in the first symbol
+  coded[4] ^= 1;  // one error in the second symbol
+  EXPECT_EQ(repetition_decode(coded, 3), data);
+}
+
+TEST(Repetition, RequiresOddFactor) {
+  EXPECT_THROW(repetition_encode(std::vector<int>{1}, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bis::phy

@@ -1,0 +1,111 @@
+// FMCW chirp arithmetic (paper Eqs. 3–5) and frame invariants.
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+#include "rf/chirp.hpp"
+#include "rf/waveform.hpp"
+
+namespace bis::rf {
+namespace {
+
+ChirpParams paper_chirp() {
+  // 1 GHz bandwidth, 50 µs chirp, 120 µs period — evaluation-style values.
+  ChirpParams c;
+  c.start_frequency_hz = 9e9;
+  c.bandwidth_hz = 1e9;
+  c.duration_s = 50e-6;
+  c.idle_s = 70e-6;
+  return c;
+}
+
+TEST(Chirp, SlopeAndPeriod) {
+  const auto c = paper_chirp();
+  EXPECT_DOUBLE_EQ(c.slope(), 1e9 / 50e-6);
+  EXPECT_DOUBLE_EQ(c.period(), 120e-6);
+  EXPECT_DOUBLE_EQ(c.center_frequency_hz(), 9.5e9);
+}
+
+TEST(Chirp, BeatFrequencyEq3) {
+  const auto c = paper_chirp();
+  // f_IF = 2αr/c.
+  const double r = 5.0;
+  const double expected = 2.0 * c.slope() * r / kSpeedOfLight;
+  EXPECT_NEAR(c.beat_frequency(r), expected, 1e-6);
+  EXPECT_NEAR(c.beat_to_range(expected), r, 1e-9);
+}
+
+TEST(Chirp, RangeResolutionEq5) {
+  const auto c = paper_chirp();
+  EXPECT_NEAR(c.range_resolution(), kSpeedOfLight / 2e9, 1e-12);
+  // Resolution is independent of the chirp duration — the CSSK invariant.
+  auto longer = c;
+  longer.duration_s = 96e-6;
+  longer.idle_s = 24e-6;
+  EXPECT_DOUBLE_EQ(longer.range_resolution(), c.range_resolution());
+}
+
+TEST(Chirp, MaxRangeEq4ScalesWithDuration) {
+  const auto c = paper_chirp();
+  const double fs = 2e6;
+  EXPECT_NEAR(c.max_unambiguous_range(fs),
+              fs * kSpeedOfLight * c.duration_s / (2.0 * c.bandwidth_hz), 1e-9);
+  auto longer = c;
+  longer.duration_s = 100e-6;
+  EXPECT_NEAR(longer.max_unambiguous_range(fs) / c.max_unambiguous_range(fs), 2.0,
+              1e-12);
+}
+
+TEST(Chirp, ValidateDutyBound) {
+  auto c = paper_chirp();
+  EXPECT_NO_THROW(validate_chirp(c));  // 50/120 ≈ 0.42 < 0.8
+  c.duration_s = 110e-6;
+  c.idle_s = 10e-6;
+  EXPECT_THROW(validate_chirp(c), std::invalid_argument);  // 110/120 > 0.8
+}
+
+TEST(Chirp, InvalidFieldsRejected) {
+  ChirpParams c;
+  EXPECT_FALSE(c.valid());
+  EXPECT_THROW(validate_chirp(c), std::invalid_argument);
+}
+
+TEST(ChirpFrame, DurationAndStartTimes) {
+  ChirpFrame frame;
+  auto c = paper_chirp();
+  frame.push_back(c);
+  c.duration_s = 30e-6;
+  c.idle_s = 90e-6;
+  frame.push_back(c);
+  EXPECT_EQ(frame.size(), 2u);
+  EXPECT_DOUBLE_EQ(frame.duration(), 240e-6);
+  EXPECT_DOUBLE_EQ(frame.chirp_start_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(frame.chirp_start_time(1), 120e-6);
+}
+
+TEST(ChirpFrame, UniformityChecks) {
+  ChirpFrame frame;
+  auto c = paper_chirp();
+  frame.push_back(c);
+  auto c2 = c;
+  c2.duration_s = 40e-6;
+  c2.idle_s = 80e-6;  // same period, same bandwidth
+  frame.push_back(c2);
+  EXPECT_TRUE(frame.uniform_period());
+  EXPECT_TRUE(frame.uniform_bandwidth());
+
+  auto c3 = c;
+  c3.idle_s = 100e-6;  // different period
+  frame.push_back(c3);
+  EXPECT_FALSE(frame.uniform_period());
+}
+
+TEST(ChirpFrame, IndexBoundsChecked) {
+  ChirpFrame frame;
+  frame.push_back(paper_chirp());
+  EXPECT_NO_THROW(frame[0]);
+  EXPECT_THROW(frame[1], std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bis::rf

@@ -1,0 +1,141 @@
+// Envelope detector mixing (paper Eq. 9) and the delay-line pair (Eq. 11).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "rf/delay_line.hpp"
+#include "rf/envelope_detector.hpp"
+
+namespace bis::rf {
+namespace {
+
+TEST(DelayLine, DeltaTMatchesGeometry) {
+  DelayLineConfig cfg;
+  cfg.length_diff_m = 45.0 * 0.0254;  // 45 inch
+  cfg.velocity_factor = 0.7;
+  cfg.dispersion_per_ghz = 0.0;
+  const DelayLinePair line(cfg);
+  EXPECT_NEAR(line.delta_t_nominal(), cfg.length_diff_m / (0.7 * kSpeedOfLight),
+              1e-15);
+  EXPECT_NEAR(line.delta_t(9.5e9), line.delta_t_nominal(), 1e-15);
+}
+
+TEST(DelayLine, Equation11) {
+  // Paper example: B = 1 GHz, ΔL = 18 in, k = 0.7, T = 20 µs → Δf ≈ 109 kHz.
+  DelayLineConfig cfg;
+  cfg.length_diff_m = 18.0 * 0.0254;
+  cfg.velocity_factor = 0.7;
+  const DelayLinePair line(cfg);
+  EXPECT_NEAR(line.beat_frequency_nominal(1e9, 20e-6), 108.9e3, 1e3);
+  EXPECT_NEAR(line.beat_frequency_nominal(1e9, 200e-6), 10.89e3, 0.1e3);
+}
+
+TEST(DelayLine, BeatScalesWithSlopeAndLength) {
+  DelayLineConfig cfg;
+  const DelayLinePair line(cfg);
+  const double f1 = line.beat_frequency(1e13, 9.5e9);
+  const double f2 = line.beat_frequency(2e13, 9.5e9);
+  EXPECT_NEAR(f2 / f1, 2.0, 1e-12);
+
+  auto cfg2 = cfg;
+  cfg2.length_diff_m = cfg.length_diff_m * 2.0;
+  const DelayLinePair line2(cfg2);
+  EXPECT_NEAR(line2.beat_frequency(1e13, 9.5e9) / f1, 2.0, 1e-12);
+}
+
+TEST(DelayLine, DispersionShiftsBeat) {
+  DelayLineConfig cfg;
+  cfg.dispersion_per_ghz = 0.004;
+  cfg.reference_freq_hz = 9e9;
+  const DelayLinePair line(cfg);
+  // k rises with frequency → ΔT falls → beat falls below nominal at 24 GHz.
+  EXPECT_GT(line.velocity_factor(24e9), line.velocity_factor(9e9));
+  EXPECT_LT(line.beat_frequency(1e13, 24e9), line.beat_frequency(1e13, 9e9));
+}
+
+TEST(DelayLine, InsertionLossGrowsWithSqrtFreq) {
+  DelayLineConfig cfg;
+  const DelayLinePair line(cfg);
+  const double l9 = line.insertion_loss_db(9e9);
+  const double l36 = line.insertion_loss_db(36e9);
+  EXPECT_NEAR(l36 / l9, 2.0, 1e-9);
+}
+
+TEST(Envelope, SinglePathYieldsDcOnly) {
+  EnvelopeDetector det{EnvelopeDetectorConfig{}};
+  const std::vector<ChirpCopy> copies = {{1.0, 0.0, 0.0}};
+  const auto out = det.mix(copies, 1e13, 9e9);
+  EXPECT_NEAR(out.dc, 0.5, 1e-12);  // a²/2
+  EXPECT_TRUE(out.tones.empty());
+}
+
+TEST(Envelope, TwoCopiesBeatAtSlopeTimesDelay) {
+  EnvelopeDetectorConfig cfg;
+  cfg.conversion_gain = 1.0;
+  cfg.lpf_cutoff_hz = 1e9;  // effectively no LPF for this check
+  EnvelopeDetector det(cfg);
+  const double slope = 1e9 / 50e-6;
+  const double dt = 5.44e-9;
+  const std::vector<ChirpCopy> copies = {{1.0, 0.0, 0.0}, {0.8, dt, 0.0}};
+  const auto out = det.mix(copies, slope, 9e9);
+  ASSERT_EQ(out.tones.size(), 1u);
+  EXPECT_NEAR(out.tones[0].frequency_hz, slope * dt, 1e-6);
+  EXPECT_NEAR(out.tones[0].amplitude, 0.8, 1e-7);  // tiny LPF rolloff
+  EXPECT_NEAR(out.dc, 0.5 + 0.32, 1e-9);
+}
+
+TEST(Envelope, ThreeCopiesAllPairs) {
+  EnvelopeDetectorConfig cfg;
+  cfg.lpf_cutoff_hz = 1e9;
+  EnvelopeDetector det(cfg);
+  const std::vector<ChirpCopy> copies = {
+      {1.0, 0.0, 0.0}, {1.0, 5e-9, 0.0}, {1.0, 12e-9, 0.0}};
+  const auto out = det.mix(copies, 2e13, 9e9);
+  ASSERT_EQ(out.tones.size(), 3u);  // (0,1), (0,2), (1,2)
+  // Tone frequencies: α·5ns, α·12ns, α·7ns.
+  std::vector<double> freqs;
+  for (const auto& t : out.tones) freqs.push_back(t.frequency_hz);
+  std::sort(freqs.begin(), freqs.end());
+  EXPECT_NEAR(freqs[0], 2e13 * 5e-9, 1.0);
+  EXPECT_NEAR(freqs[1], 2e13 * 7e-9, 1.0);
+  EXPECT_NEAR(freqs[2], 2e13 * 12e-9, 1.0);
+}
+
+TEST(Envelope, LpfAttenuatesHighBeat) {
+  EnvelopeDetectorConfig cfg;
+  cfg.lpf_cutoff_hz = 100e3;
+  EnvelopeDetector det(cfg);
+  EXPECT_NEAR(det.lpf_response(100e3), 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_LT(det.lpf_response(1e6), 0.1);
+  EXPECT_NEAR(det.lpf_response(0.0), 1.0, 1e-12);
+}
+
+TEST(Envelope, PhaseFollowsEq9) {
+  // Phase of the cross tone: 2π(f0·Δτ − α/2(τ2²−τ1²)) + (θ1−θ2), wrapped.
+  EnvelopeDetectorConfig cfg;
+  cfg.lpf_cutoff_hz = 1e12;
+  EnvelopeDetector det(cfg);
+  const double f0 = 9e9;
+  const double slope = 2e13;
+  const double t1 = 1e-9, t2 = 6e-9;
+  const std::vector<ChirpCopy> copies = {{1.0, t1, 0.3}, {1.0, t2, 0.1}};
+  const auto out = det.mix(copies, slope, f0);
+  ASSERT_EQ(out.tones.size(), 1u);
+  const double expected = std::remainder(
+      kTwoPi * (f0 * (t2 - t1) - slope / 2.0 * (t2 * t2 - t1 * t1)) + (0.3 - 0.1),
+      kTwoPi);
+  EXPECT_NEAR(out.tones[0].phase_rad, expected, 1e-9);
+}
+
+TEST(Envelope, NoiseRmsScalesWithBandwidth) {
+  EnvelopeDetectorConfig cfg;
+  cfg.output_noise_density = 2e-9;
+  EnvelopeDetector det(cfg);
+  EXPECT_NEAR(det.output_noise_rms(250e3) / det.output_noise_rms(62.5e3), 2.0,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace bis::rf

@@ -1,0 +1,130 @@
+// FFT correctness: against a direct DFT reference, Parseval, round trips,
+// arbitrary (Bluestein) lengths, and bin-frequency mapping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/random.hpp"
+#include "dsp/fft.hpp"
+
+namespace bis::dsp {
+namespace {
+
+CVec reference_dft(const CVec& x) {
+  const std::size_t n = x.size();
+  CVec out(n, cdouble(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double angle = -kTwoPi * static_cast<double>(k * i) / static_cast<double>(n);
+      out[k] += x[i] * cdouble(std::cos(angle), std::sin(angle));
+    }
+  }
+  return out;
+}
+
+CVec random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  CVec x(n);
+  for (auto& v : x) v = cdouble(rng.gaussian(), rng.gaussian());
+  return x;
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 100 + n);
+  const auto fast = fft(x);
+  const auto ref = reference_dft(x);
+  ASSERT_EQ(fast.size(), n);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_LT(std::abs(fast[k] - ref[k]), 1e-8 * static_cast<double>(n) + 1e-9)
+        << "bin " << k << " size " << n;
+}
+
+TEST_P(FftSizes, InverseRoundTrip) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 200 + n);
+  const auto back = ifft(fft(x));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(back[i] - x[i]), 1e-9);
+}
+
+TEST_P(FftSizes, Parseval) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 300 + n);
+  const auto spec = fft(x);
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  for (const auto& v : spec) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * time_energy + 1e-12);
+}
+
+// Power-of-two (radix-2 path) and awkward composite/prime (Bluestein path).
+INSTANTIATE_TEST_SUITE_P(AllSizes, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 64, 256, 3, 5, 7, 12,
+                                           60, 97, 100, 240));
+
+TEST(Fft, PureToneLandsInItsBin) {
+  const std::size_t n = 128;
+  const std::size_t bin = 17;
+  CVec x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = kTwoPi * static_cast<double>(bin * i) / static_cast<double>(n);
+    x[i] = cdouble(std::cos(angle), std::sin(angle));
+  }
+  const auto spec = fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == bin)
+      EXPECT_NEAR(std::abs(spec[k]), static_cast<double>(n), 1e-8);
+    else
+      EXPECT_LT(std::abs(spec[k]), 1e-7);
+  }
+}
+
+TEST(Fft, RealSignalConjugateSymmetry) {
+  Rng rng(4);
+  std::vector<double> x(64);
+  for (auto& v : x) v = rng.gaussian();
+  const auto spec = fft_real(x);
+  for (std::size_t k = 1; k < x.size() / 2; ++k) {
+    EXPECT_NEAR(spec[k].real(), spec[x.size() - k].real(), 1e-9);
+    EXPECT_NEAR(spec[k].imag(), -spec[x.size() - k].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, PaddedTransformLength) {
+  const auto x = random_signal(10, 5);
+  const auto spec = fft_padded(x, 32);
+  EXPECT_EQ(spec.size(), 32u);
+  // DC bin must equal the plain sum.
+  cdouble sum(0.0, 0.0);
+  for (const auto& v : x) sum += v;
+  EXPECT_LT(std::abs(spec[0] - sum), 1e-9);
+}
+
+TEST(Fft, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(12));
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(5), 8u);
+  EXPECT_EQ(next_power_of_two(64), 64u);
+  EXPECT_EQ(next_power_of_two(65), 128u);
+}
+
+TEST(Fft, BinFrequencyMapping) {
+  // 8 bins at fs=800: unsigned mapping 0,100,...,700; signed wraps at 400.
+  EXPECT_DOUBLE_EQ(fft_bin_frequency_unsigned(0, 8, 800.0), 0.0);
+  EXPECT_DOUBLE_EQ(fft_bin_frequency_unsigned(3, 8, 800.0), 300.0);
+  EXPECT_DOUBLE_EQ(fft_bin_frequency(3, 8, 800.0), 300.0);
+  EXPECT_DOUBLE_EQ(fft_bin_frequency(5, 8, 800.0), -300.0);
+  EXPECT_DOUBLE_EQ(fft_bin_frequency(7, 8, 800.0), -100.0);
+}
+
+}  // namespace
+}  // namespace bis::dsp

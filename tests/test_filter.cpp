@@ -1,0 +1,133 @@
+// Filter behaviour: FIR design/response, biquad low/high-pass, single-pole
+// RC, moving average, DC blocker.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "dsp/filter.hpp"
+#include "dsp/goertzel.hpp"
+
+namespace bis::dsp {
+namespace {
+
+std::vector<double> tone(std::size_t n, double freq, double fs) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::cos(kTwoPi * freq * static_cast<double>(i) / fs);
+  return x;
+}
+
+double steady_amplitude(const std::vector<double>& y, double freq, double fs) {
+  // Measure over the second half to skip transients.
+  const std::size_t n = y.size() / 2;
+  const std::span<const double> tail(y.data() + n, n);
+  return 2.0 * std::abs(goertzel(tail, freq, fs)) / static_cast<double>(n);
+}
+
+TEST(FirDesign, UnityDcGain) {
+  const auto taps = design_lowpass_fir(10e3, 500e3, 101);
+  double sum = 0.0;
+  for (double t : taps) sum += t;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(FirDesign, PassesLowRejectsHigh) {
+  const double fs = 500e3;
+  const auto taps = design_lowpass_fir(50e3, fs, 101);
+  const auto low = fir_filter(tone(2000, 10e3, fs), taps);
+  const auto high = fir_filter(tone(2000, 200e3, fs), taps);
+  EXPECT_NEAR(steady_amplitude(low, 10e3, fs), 1.0, 0.05);
+  EXPECT_LT(steady_amplitude(high, 200e3, fs), 0.01);
+}
+
+TEST(FirDesign, RequiresOddTaps) {
+  EXPECT_THROW(design_lowpass_fir(10e3, 500e3, 100), std::invalid_argument);
+}
+
+TEST(FirFilter, IdentityWithUnitTap) {
+  std::vector<double> x = {1.0, -2.0, 3.0};
+  std::vector<double> taps = {1.0};
+  const auto y = fir_filter(x, taps);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Biquad, LowpassAttenuatesAboveCutoff) {
+  const double fs = 500e3;
+  auto lp = Biquad::lowpass(20e3, fs);
+  const auto passed = lp.process(tone(4000, 2e3, fs));
+  lp.reset();
+  const auto stopped = lp.process(tone(4000, 200e3, fs));
+  EXPECT_NEAR(steady_amplitude(passed, 2e3, fs), 1.0, 0.05);
+  EXPECT_LT(steady_amplitude(stopped, 200e3, fs), 0.03);
+}
+
+TEST(Biquad, HighpassBlocksDc) {
+  auto hp = Biquad::highpass(5e3, 500e3);
+  std::vector<double> dc(4000, 1.0);
+  const auto y = hp.process(dc);
+  EXPECT_NEAR(y.back(), 0.0, 1e-3);
+}
+
+TEST(Biquad, CutoffIsMinus3Db) {
+  const double fs = 500e3;
+  auto lp = Biquad::lowpass(50e3, fs);
+  const auto y = lp.process(tone(8000, 50e3, fs));
+  EXPECT_NEAR(steady_amplitude(y, 50e3, fs), 1.0 / std::sqrt(2.0), 0.03);
+}
+
+TEST(SinglePole, StepResponseSettles) {
+  SinglePoleLowpass lp(10e3, 500e3);
+  double y = 0.0;
+  for (int i = 0; i < 2000; ++i) y = lp.process(1.0);
+  EXPECT_NEAR(y, 1.0, 1e-6);
+}
+
+TEST(SinglePole, CutoffAttenuation) {
+  const double fs = 500e3;
+  SinglePoleLowpass lp(30e3, fs);
+  const auto y = lp.process(tone(8000, 30e3, fs));
+  // Single-pole at cutoff: 1/√2.
+  EXPECT_NEAR(steady_amplitude(y, 30e3, fs), 1.0 / std::sqrt(2.0), 0.05);
+}
+
+TEST(MovingAverage, FlatInputUnchanged) {
+  std::vector<double> x(20, 3.0);
+  const auto y = moving_average(x, 5);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], 3.0, 1e-12);
+}
+
+TEST(MovingAverage, SmoothsImpulse) {
+  std::vector<double> x(11, 0.0);
+  x[5] = 5.0;
+  const auto y = moving_average(x, 5);
+  EXPECT_NEAR(y[5], 1.0, 1e-12);  // spread over the window
+  EXPECT_NEAR(y[9], 1.0, 1e-12);  // trailing window still contains it
+  EXPECT_NEAR(y[10], 0.0, 1e-12);
+}
+
+TEST(DcBlocker, RemovesDcKeepsTone) {
+  const double fs = 500e3;
+  DcBlocker blocker(0.95);
+  std::vector<double> x = tone(4000, 60e3, fs);
+  for (auto& v : x) v += 2.0;  // large DC pedestal
+  const auto y = blocker.process(x);
+  // Steady-state mean near zero, tone preserved.
+  double mean = 0.0;
+  for (std::size_t i = 2000; i < 4000; ++i) mean += y[i];
+  mean /= 2000.0;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(steady_amplitude(y, 60e3, fs), 1.0, 0.1);
+}
+
+TEST(DcBlocker, ResetClearsMemory) {
+  DcBlocker b(0.9);
+  b.process(10.0);
+  b.reset();
+  EXPECT_DOUBLE_EQ(b.process(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace bis::dsp

@@ -1,0 +1,96 @@
+// Link budgets: FSPL, thermal noise, one-way downlink R², two-way uplink R⁴,
+// retro-reflective gain, clutter returns.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/link_budget.hpp"
+
+namespace bis::rf {
+namespace {
+
+TEST(LinkBudget, FsplReferenceValue) {
+  // FSPL at 1 m, 2.4 GHz ≈ 40.05 dB (classic reference).
+  EXPECT_NEAR(fspl_db(1.0, 2.4e9), 40.05, 0.05);
+}
+
+TEST(LinkBudget, FsplScaling) {
+  // +20 dB per decade of distance, +20 dB per decade of frequency.
+  EXPECT_NEAR(fspl_db(10.0, 9.5e9) - fspl_db(1.0, 9.5e9), 20.0, 1e-9);
+  EXPECT_NEAR(fspl_db(3.0, 24e9) - fspl_db(3.0, 2.4e9), 20.0, 1e-9);
+}
+
+TEST(LinkBudget, Wavelength) {
+  EXPECT_NEAR(wavelength(9.5e9), 0.03156, 1e-4);
+  EXPECT_NEAR(wavelength(24e9), 0.01249, 1e-4);
+}
+
+TEST(LinkBudget, ThermalNoise) {
+  // kTB for 1 Hz at 290 K = −174 dBm/Hz (approx).
+  EXPECT_NEAR(thermal_noise_dbm(1.0), -174.0, 0.1);
+  EXPECT_NEAR(thermal_noise_dbm(1e6), -114.0, 0.1);
+  EXPECT_NEAR(thermal_noise_dbm(1e6, 10.0), -104.0, 0.1);
+}
+
+TEST(LinkBudget, DownlinkFallsAt20DbPerDecade) {
+  RadarRf radar;
+  TagRf tag;
+  const double p1 = downlink_power_at_tag_dbm(radar, tag, 0.7, 9.5e9);
+  const double p10 = downlink_power_at_tag_dbm(radar, tag, 7.0, 9.5e9);
+  EXPECT_NEAR(p1 - p10, 20.0, 1e-9);
+}
+
+TEST(LinkBudget, UplinkFallsAt40DbPerDecade) {
+  RadarRf radar;
+  TagRf tag;
+  const double p1 = uplink_power_at_radar_dbm(radar, tag, 0.7, 9.5e9);
+  const double p10 = uplink_power_at_radar_dbm(radar, tag, 7.0, 9.5e9);
+  EXPECT_NEAR(p1 - p10, 40.0, 1e-9);
+}
+
+TEST(LinkBudget, RetroGainAppliesOnlyWhenEnabled) {
+  RadarRf radar;
+  TagRf tag;
+  tag.retro_gain_db = 18.0;
+  tag.retro_reflective = true;
+  const double with = uplink_power_at_radar_dbm(radar, tag, 3.0, 9.5e9);
+  tag.retro_reflective = false;
+  const double without = uplink_power_at_radar_dbm(radar, tag, 3.0, 9.5e9);
+  EXPECT_NEAR(with - without, 18.0, 1e-9);
+}
+
+TEST(LinkBudget, DownlinkIncludesInsertionLoss) {
+  RadarRf radar;
+  TagRf tag;
+  tag.decoder_insertion_loss_db = 8.0;
+  const double base = downlink_power_at_tag_dbm(radar, tag, 3.0, 9.5e9);
+  tag.decoder_insertion_loss_db = 11.0;
+  EXPECT_NEAR(base - downlink_power_at_tag_dbm(radar, tag, 3.0, 9.5e9), 3.0, 1e-9);
+}
+
+TEST(LinkBudget, ProcessingGain) {
+  EXPECT_NEAR(processing_gain_db(1), 0.0, 1e-12);
+  EXPECT_NEAR(processing_gain_db(100), 20.0, 1e-9);
+  EXPECT_NEAR(processing_gain_db(1024), 30.1, 0.01);
+}
+
+TEST(LinkBudget, ClutterReturnScalesR4) {
+  RadarRf radar;
+  const double near = clutter_return_dbm(radar, 1.0, 9.5e9);
+  const double far = clutter_return_dbm(radar, 10.0, 9.5e9);
+  EXPECT_NEAR(near - far, 40.0, 1e-9);
+  EXPECT_NEAR(clutter_return_dbm(radar, 3.0, 9.5e9, 6.0) -
+                  clutter_return_dbm(radar, 3.0, 9.5e9, 0.0),
+              6.0, 1e-9);
+}
+
+TEST(LinkBudget, InvalidArgumentsThrow) {
+  EXPECT_THROW(fspl_db(0.0, 9e9), std::invalid_argument);
+  EXPECT_THROW(fspl_db(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(thermal_noise_dbm(0.0), std::invalid_argument);
+  EXPECT_THROW(wavelength(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bis::rf

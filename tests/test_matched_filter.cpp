@@ -1,0 +1,121 @@
+// Correlation and the square-wave slow-time signature used by the tag
+// detector (Millimetro-style matched filtering, paper §3.3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/random.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/matched_filter.hpp"
+#include "dsp/types.hpp"
+#include "dsp/window.hpp"
+
+namespace bis::dsp {
+namespace {
+
+TEST(NormalizedCorrelation, BoundsAndIdentity) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(normalized_correlation(a, a), 1.0, 1e-12);
+  std::vector<double> neg = {-1.0, -2.0, -3.0};
+  EXPECT_NEAR(normalized_correlation(a, neg), -1.0, 1e-12);
+  std::vector<double> orth = {1.0, 0.0, 0.0};
+  std::vector<double> orth2 = {0.0, 1.0, 0.0};
+  EXPECT_NEAR(normalized_correlation(orth, orth2), 0.0, 1e-12);
+}
+
+TEST(NormalizedCorrelation, ZeroEnergyIsZero) {
+  std::vector<double> a = {0.0, 0.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_EQ(normalized_correlation(a, b), 0.0);
+}
+
+TEST(CrossCorrelate, FindsKnownLag) {
+  std::vector<double> h = {1.0, 2.0, 1.0};
+  std::vector<double> x(40, 0.0);
+  // Template embedded at offset 17.
+  x[17] = 1.0;
+  x[18] = 2.0;
+  x[19] = 1.0;
+  const auto xc = cross_correlate(x, h);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < xc.size(); ++i)
+    if (xc[i] > xc[best]) best = i;
+  // out[i] is lag i-(Nh-1); max at lag 17.
+  EXPECT_EQ(static_cast<long long>(best) - 2, 17);
+}
+
+TEST(SquareWaveSignature, PlacesOddHarmonics) {
+  const double period = 120e-6;
+  const double f_mod = 800.0;
+  const std::size_t n_fft = 1024;
+  const auto sig = square_wave_signature(f_mod, 0.5, 256, period, n_fft, 3);
+  const double bin_hz = (1.0 / period) / static_cast<double>(n_fft);
+  const auto b1 = static_cast<std::size_t>(std::llround(f_mod / bin_hz));
+  const auto b2 = static_cast<std::size_t>(std::llround(2 * f_mod / bin_hz));
+  const auto b3 = static_cast<std::size_t>(std::llround(3 * f_mod / bin_hz));
+  EXPECT_GT(sig[b1], 0.0);
+  // 50% duty square wave: even harmonics vanish, 3rd harmonic present.
+  EXPECT_NEAR(sig[b2], 0.0, 1e-12);
+  EXPECT_GT(sig[b3], 0.0);
+  EXPECT_GT(sig[b1], sig[b3]);
+}
+
+TEST(SquareWaveSignature, AsymmetricDutyHasEvenHarmonics) {
+  const auto sig = square_wave_signature(800.0, 0.25, 256, 120e-6, 1024, 3);
+  const double bin_hz = (1.0 / 120e-6) / 1024.0;
+  const auto b2 = static_cast<std::size_t>(std::llround(1600.0 / bin_hz));
+  EXPECT_GT(sig[b2], 0.0);
+}
+
+TEST(SignatureScore, RealSquareWaveScoresHigh) {
+  // Synthesize an actual on/off series and check its spectrum matches.
+  const double period = 120e-6;
+  const double f_mod = 800.0;
+  const std::size_t n = 256;
+  std::vector<double> series(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * period;
+    const double ph = t * f_mod - std::floor(t * f_mod);
+    series[i] = ph < 0.5 ? 1.0 : 0.0;
+  }
+  const auto centred = remove_dc(series);
+  const auto w = make_window(WindowType::kHann, n);
+  const auto xw = apply_window(centred, w);
+  const auto spec = fft_real_padded(xw, 1024);
+  RVec power(513);
+  for (std::size_t k = 0; k < power.size(); ++k) power[k] = std::norm(spec[k]);
+
+  const auto sig = square_wave_signature(f_mod, 0.5, n, period, 1024, 3);
+  EXPECT_GT(signature_score(power, sig), 0.8);
+
+  // A wrong-frequency signature scores much lower.
+  const auto wrong = square_wave_signature(2100.0, 0.5, n, period, 1024, 3);
+  EXPECT_LT(signature_score(power, wrong), 0.3);
+}
+
+TEST(SignatureScore, NoiseScoresLow) {
+  Rng rng(5);
+  RVec spectrum(513);
+  for (auto& v : spectrum) v = std::abs(rng.gaussian());
+  const auto sig = square_wave_signature(800.0, 0.5, 256, 120e-6, 1024, 3);
+  EXPECT_LT(signature_score(spectrum, sig), 0.6);
+}
+
+TEST(SignatureScore, EmptySignatureIsZero) {
+  RVec spectrum(16, 1.0);
+  RVec sig(16, 0.0);
+  EXPECT_EQ(signature_score(spectrum, sig), 0.0);
+}
+
+TEST(SquareWaveSignature, NyquistTruncation) {
+  // Harmonics above slow-time Nyquist are simply absent; no crash.
+  const auto sig = square_wave_signature(4000.0, 0.5, 64, 120e-6, 256, 5);
+  double total = 0.0;
+  for (double v : sig) total += v;
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace bis::dsp

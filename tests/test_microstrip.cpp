@@ -1,0 +1,129 @@
+// Two-port algebra and the microstrip meander delay-line model behind the
+// paper's Figs. 9–11.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/microstrip.hpp"
+#include "common/constants.hpp"
+#include "rf/two_port.hpp"
+
+namespace bis::rf {
+namespace {
+
+TEST(TwoPort, IdentityCascade) {
+  const auto id = Abcd::identity();
+  const auto m = Abcd::series_impedance(cplx(10.0, 5.0));
+  const auto c = id.cascade(m);
+  EXPECT_NEAR(std::abs(c.b - cplx(10.0, 5.0)), 0.0, 1e-12);
+}
+
+TEST(TwoPort, MatchedLineIsReflectionless) {
+  // A lossless 50 Ω line in a 50 Ω system: |S11| = 0, |S21| = 1.
+  const auto line = Abcd::transmission_line(cplx(50.0, 0.0), cplx(0.0, 30.0), 0.01);
+  const auto s = abcd_to_sparams(line, 50.0);
+  EXPECT_LT(std::abs(s.s11), 1e-12);
+  EXPECT_NEAR(std::abs(s.s21), 1.0, 1e-12);
+}
+
+TEST(TwoPort, MismatchedLineReflects) {
+  const auto line = Abcd::transmission_line(cplx(75.0, 0.0), cplx(0.0, 30.0), 0.01);
+  const auto s = abcd_to_sparams(line, 50.0);
+  EXPECT_GT(std::abs(s.s11), 0.05);
+}
+
+TEST(TwoPort, LinePhaseMatchesBetaLength) {
+  const double beta = 200.0;  // rad/m
+  const double len = 0.02;
+  const auto line = Abcd::transmission_line(cplx(50.0, 0.0), cplx(0.0, beta), len);
+  const auto s = abcd_to_sparams(line, 50.0);
+  EXPECT_NEAR(std::remainder(std::arg(s.s21) + beta * len, kTwoPi), 0.0, 1e-9);
+}
+
+TEST(TwoPort, LossyLineAttenuates) {
+  const auto line =
+      Abcd::transmission_line(cplx(50.0, 0.0), cplx(5.0, 300.0), 0.05);
+  const auto s = abcd_to_sparams(line, 50.0);
+  EXPECT_NEAR(std::abs(s.s21), std::exp(-5.0 * 0.05), 1e-9);
+}
+
+TEST(TwoPort, PassivityOfReciprocalNetwork) {
+  const auto net = Abcd::series_impedance(cplx(0.0, 20.0))
+                       .cascade(Abcd::shunt_admittance(cplx(0.0, 0.01)));
+  const auto s = abcd_to_sparams(net, 50.0);
+  // Lossless network: |S11|² + |S21|² = 1.
+  EXPECT_NEAR(std::norm(s.s11) + std::norm(s.s21), 1.0, 1e-9);
+}
+
+TEST(Microstrip, EffectivePermittivityBetweenOneAndEr) {
+  const Microstrip line{MicrostripConfig{}};  // Rogers 3006, εr = 6.15
+  EXPECT_GT(line.epsilon_eff(), 1.0);
+  EXPECT_LT(line.epsilon_eff(), 6.15);
+  // Dispersion raises ε_eff toward ε_r with frequency.
+  EXPECT_GT(line.epsilon_eff_at(24e9), line.epsilon_eff_at(2e9));
+  EXPECT_LT(line.epsilon_eff_at(24e9), 6.15 + 1e-9);
+}
+
+TEST(Microstrip, ImpedanceFallsWithWiderTrace) {
+  MicrostripConfig narrow;
+  narrow.trace_width_m = 0.3e-3;
+  MicrostripConfig wide;
+  wide.trace_width_m = 1.5e-3;
+  EXPECT_GT(Microstrip(narrow).z0(), Microstrip(wide).z0());
+}
+
+TEST(Microstrip, LossesPositiveAndGrowWithFrequency) {
+  const Microstrip line{MicrostripConfig{}};
+  EXPECT_GT(line.alpha_conductor(9e9), 0.0);
+  EXPECT_GT(line.alpha_dielectric(9e9), 0.0);
+  EXPECT_GT(line.alpha_conductor(24e9), line.alpha_conductor(9e9));
+  EXPECT_GT(line.alpha_dielectric(24e9), line.alpha_dielectric(9e9));
+}
+
+TEST(MeanderLine, PaperPrototypeDelayNear1260ps) {
+  const auto line = MeanderLine::paper_prototype_9ghz();
+  // Paper: 1.26 ns delay across the 1 GHz band at 9 GHz.
+  const double d_lo = line.group_delay(8.6e9);
+  const double d_mid = line.group_delay(9.0e9);
+  const double d_hi = line.group_delay(9.4e9);
+  EXPECT_NEAR(d_mid, 1.26e-9, 0.15e-9);
+  // Delay flat to within ~10% across the band (paper Fig. 11).
+  EXPECT_NEAR(d_lo / d_hi, 1.0, 0.1);
+}
+
+TEST(MeanderLine, InsertionLossModerate) {
+  const auto line = MeanderLine::paper_prototype_9ghz();
+  const double il = line.insertion_loss_db(9e9);
+  EXPECT_GT(il, 0.1);
+  EXPECT_LT(il, 8.0);
+}
+
+TEST(MeanderLine, TotalLengthMatchesGeometry) {
+  MeanderConfig cfg;
+  cfg.n_sections = 10;
+  cfg.section_length_m = 5e-3;
+  cfg.link_length_m = 1e-3;
+  const MeanderLine line(cfg);
+  EXPECT_NEAR(line.total_length_m(), 10 * 5e-3 + 9 * 1e-3, 1e-12);
+}
+
+TEST(MeanderLine, DelayScalesWithLength) {
+  MeanderConfig s;
+  s.n_sections = 10;
+  MeanderConfig l;
+  l.n_sections = 20;
+  const double ds = MeanderLine(s).group_delay(9e9);
+  const double dl = MeanderLine(l).group_delay(9e9);
+  EXPECT_NEAR(dl / ds, 2.0, 0.25);
+}
+
+TEST(MeanderLine, S11ReasonablyMatched) {
+  const auto line = MeanderLine::paper_prototype_9ghz();
+  // Fig. 10: return loss better than ~-8 dB in band.
+  for (double f = 8.6e9; f <= 9.4e9; f += 0.2e9)
+    EXPECT_LT(line.s11_db(f), -8.0) << f;
+}
+
+}  // namespace
+}  // namespace bis::rf

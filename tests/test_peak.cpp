@@ -1,0 +1,109 @@
+// Peak detection, parabolic refinement, CFAR.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/peak.hpp"
+
+namespace bis::dsp {
+namespace {
+
+TEST(Argmax, FindsMaximum) {
+  std::vector<double> xs = {1.0, 5.0, 3.0};
+  EXPECT_EQ(argmax(xs), 1u);
+}
+
+TEST(Argmax, EmptyThrows) {
+  std::vector<double> xs;
+  EXPECT_THROW(argmax(xs), std::invalid_argument);
+}
+
+TEST(ParabolicRefine, ExactForQuadratic) {
+  // Samples of -(x - 1.3)^2 at x = 0, 1, 2: vertex at 1.3.
+  std::vector<double> xs = {-(0.0 - 1.3) * (0.0 - 1.3), -(1.0 - 1.3) * (1.0 - 1.3),
+                            -(2.0 - 1.3) * (2.0 - 1.3)};
+  EXPECT_NEAR(parabolic_refine(xs, 1), 1.3, 1e-12);
+}
+
+TEST(ParabolicRefine, EdgeFallsBack) {
+  std::vector<double> xs = {3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(parabolic_refine(xs, 0), 0.0);
+  EXPECT_DOUBLE_EQ(parabolic_refine(xs, 2), 2.0);
+}
+
+TEST(ParabolicRefine, ClampsToHalfBin) {
+  std::vector<double> xs = {1.0, 1.0, 0.0};  // degenerate plateau edge
+  const double r = parabolic_refine(xs, 1);
+  EXPECT_GE(r, 0.5);
+  EXPECT_LE(r, 1.5);
+}
+
+TEST(FindPeak, SubBinAccuracyOnSampledGaussian) {
+  // Gaussian bump centred at 10.37 bins.
+  std::vector<double> xs(21);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double d = static_cast<double>(i) - 10.37;
+    xs[i] = std::exp(-d * d / 8.0);
+  }
+  const auto p = find_peak(xs);
+  EXPECT_EQ(p.index, 10u);
+  EXPECT_NEAR(p.refined_index, 10.37, 0.02);
+}
+
+TEST(FindPeaks, OrdersByValueAndSuppressesNeighbours) {
+  std::vector<double> xs(50, 0.0);
+  xs[10] = 5.0;
+  xs[11] = 4.0;  // adjacent, should be suppressed with min_distance=3
+  xs[30] = 7.0;
+  const auto peaks = find_peaks(xs, 1.0, 3);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 30u);
+  EXPECT_EQ(peaks[1].index, 10u);
+}
+
+TEST(FindPeaks, ThresholdFilters) {
+  std::vector<double> xs(20, 0.0);
+  xs[5] = 0.5;
+  xs[15] = 2.0;
+  const auto peaks = find_peaks(xs, 1.0);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 15u);
+}
+
+TEST(Cfar, DetectsTargetAboveClutterFloor) {
+  std::vector<double> power(100, 1.0);
+  power[50] = 30.0;
+  const auto det = cfar_detect(power, 2, 8, 10.0);
+  ASSERT_EQ(det.size(), 1u);
+  EXPECT_EQ(det[0], 50u);
+}
+
+TEST(Cfar, GuardCellsProtectTargetSkirt) {
+  std::vector<double> power(100, 1.0);
+  power[49] = 10.0;
+  power[50] = 30.0;
+  power[51] = 10.0;
+  // With 2 guard cells the skirt samples don't raise the noise estimate.
+  const auto det = cfar_detect(power, 2, 8, 12.0);
+  EXPECT_EQ(det.size(), 1u);
+  EXPECT_EQ(det[0], 50u);
+}
+
+TEST(Cfar, NoFalseAlarmsOnFlatInput) {
+  std::vector<double> power(64, 2.0);
+  EXPECT_TRUE(cfar_detect(power, 2, 8, 3.0).empty());
+}
+
+TEST(Cfar, TwoSeparatedTargets) {
+  std::vector<double> power(128, 1.0);
+  power[30] = 25.0;
+  power[90] = 40.0;
+  const auto det = cfar_detect(power, 1, 6, 8.0);
+  ASSERT_EQ(det.size(), 2u);
+  EXPECT_EQ(det[0], 30u);
+  EXPECT_EQ(det[1], 90u);
+}
+
+}  // namespace
+}  // namespace bis::dsp

@@ -1,0 +1,87 @@
+// Interpolation / regridding — the primitives under BiScatter's IF
+// correction (Eq. 15 pairwise interpolation).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/resample.hpp"
+
+namespace bis::dsp {
+namespace {
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto g = linspace(0.0, 10.0, 11);
+  ASSERT_EQ(g.size(), 11u);
+  EXPECT_DOUBLE_EQ(g.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.back(), 10.0);
+  for (std::size_t i = 1; i < g.size(); ++i)
+    EXPECT_NEAR(g[i] - g[i - 1], 1.0, 1e-12);
+}
+
+TEST(InterpLinear, ExactAtKnots) {
+  std::vector<double> x = {0.0, 1.0, 3.0};
+  std::vector<double> y = {2.0, 4.0, -2.0};
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_DOUBLE_EQ(interp_linear(x, y, x[i]), y[i]);
+}
+
+TEST(InterpLinear, MidpointsAndClamping) {
+  std::vector<double> x = {0.0, 2.0};
+  std::vector<double> y = {0.0, 4.0};
+  EXPECT_DOUBLE_EQ(interp_linear(x, y, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(interp_linear(x, y, -5.0), 0.0);  // clamp left
+  EXPECT_DOUBLE_EQ(interp_linear(x, y, 9.0), 4.0);   // clamp right
+}
+
+TEST(RegridLinear, ReproducesLinearFunction) {
+  const auto x = linspace(0.0, 1.0, 11);
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 3.0 * x[i] - 1.0;
+  const auto q = linspace(0.05, 0.95, 19);
+  const auto r = regrid_linear(x, y, q);
+  for (std::size_t i = 0; i < q.size(); ++i)
+    EXPECT_NEAR(r[i], 3.0 * q[i] - 1.0, 1e-12);
+}
+
+TEST(RegridLinear, ComplexInterpolatesBothParts) {
+  std::vector<double> x = {0.0, 1.0};
+  CVec y = {cdouble(0.0, 2.0), cdouble(4.0, 0.0)};
+  std::vector<double> q = {0.5};
+  const auto r = regrid_linear(x, std::span<const cdouble>(y), q);
+  EXPECT_NEAR(r[0].real(), 2.0, 1e-12);
+  EXPECT_NEAR(r[0].imag(), 1.0, 1e-12);
+}
+
+TEST(RegridLinear, SmoothFunctionAccuracy) {
+  // Dense sine regridded onto a shifted grid: linear interp error ~ h².
+  const auto x = linspace(0.0, 6.283, 200);
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::sin(x[i]);
+  const auto q = linspace(0.01, 6.27, 173);
+  const auto r = regrid_linear(x, y, q);
+  for (std::size_t i = 0; i < q.size(); ++i)
+    EXPECT_NEAR(r[i], std::sin(q[i]), 2e-4);
+}
+
+TEST(InterpCubic, ExactAtKnotsAndSmooth) {
+  std::vector<double> y = {0.0, 1.0, 4.0, 9.0, 16.0};  // x² at 0..4
+  EXPECT_NEAR(interp_cubic_uniform(y, 0.0, 1.0, 2.0), 4.0, 1e-12);
+  // Catmull–Rom reproduces quadratics exactly in the interior.
+  EXPECT_NEAR(interp_cubic_uniform(y, 0.0, 1.0, 2.5), 6.25, 1e-9);
+}
+
+TEST(InterpCubic, ClampsOutside) {
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(interp_cubic_uniform(y, 0.0, 1.0, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(interp_cubic_uniform(y, 0.0, 1.0, 10.0), 3.0);
+}
+
+TEST(InterpLinear, RequiresMatchingSizes) {
+  std::vector<double> x = {0.0, 1.0, 2.0};
+  std::vector<double> y = {0.0, 1.0};
+  EXPECT_THROW(interp_linear(x, y, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bis::dsp

@@ -1,0 +1,128 @@
+// CSSK slope alphabet invariants (paper Eqs. 11–13 and §3.1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/slope_alphabet.hpp"
+#include "rf/chirp.hpp"
+
+namespace bis::phy {
+namespace {
+
+SlopeAlphabetConfig base_config(std::size_t bits = 5) {
+  SlopeAlphabetConfig c;
+  c.bandwidth_hz = 1e9;
+  c.start_frequency_hz = 9e9;
+  c.chirp_period_s = 120e-6;
+  c.min_chirp_duration_s = 36e-6;
+  c.bits_per_symbol = bits;
+  c.delay_line.length_diff_m = 45.0 * 0.0254;
+  return c;
+}
+
+TEST(GrayCode, RoundTripAndAdjacency) {
+  for (std::size_t v = 0; v < 64; ++v)
+    EXPECT_EQ(gray_decode(gray_encode(v)), v);
+  // Adjacent integers differ by exactly one bit in Gray code.
+  for (std::size_t v = 0; v + 1 < 64; ++v) {
+    const auto diff = gray_encode(v) ^ gray_encode(v + 1);
+    EXPECT_EQ(diff & (diff - 1), 0u) << v;  // power of two
+    EXPECT_NE(diff, 0u);
+  }
+}
+
+TEST(SlopeAlphabet, SlotCountIncludesReservedAndGuards) {
+  const auto a = SlopeAlphabet::design(base_config(5));
+  // 2^5 data + header + sync + 2·2 guard slots.
+  EXPECT_EQ(a.slot_count(), 32u + 2u + 4u);
+  EXPECT_EQ(a.data_symbol_count(), 32u);
+  EXPECT_EQ(a.sync_slot(), 0u);
+  EXPECT_EQ(a.header_slot(), a.slot_count() - 1);
+  EXPECT_EQ(a.first_data_slot(), 3u);
+}
+
+TEST(SlopeAlphabet, BeatFrequenciesUniformlySpaced) {
+  const auto a = SlopeAlphabet::design(base_config());
+  const auto& f = a.nominal_beat_frequencies();
+  for (std::size_t i = 1; i < f.size(); ++i)
+    EXPECT_NEAR(f[i] - f[i - 1], a.beat_spacing_hz(), 1e-6);
+}
+
+TEST(SlopeAlphabet, DurationsWithinBounds) {
+  const auto cfg = base_config();
+  const auto a = SlopeAlphabet::design(cfg);
+  for (std::size_t s = 0; s < a.slot_count(); ++s) {
+    EXPECT_GE(a.duration(s), cfg.min_chirp_duration_s - 1e-9);
+    EXPECT_LE(a.duration(s), cfg.max_duty * cfg.chirp_period_s + 1e-9);
+  }
+  // Sync = longest chirp (lowest Δf), header = shortest.
+  EXPECT_NEAR(a.duration(a.sync_slot()), cfg.max_duty * cfg.chirp_period_s, 1e-9);
+  EXPECT_NEAR(a.duration(a.header_slot()), cfg.min_chirp_duration_s, 1e-9);
+}
+
+TEST(SlopeAlphabet, Equation11Consistency) {
+  // Δf·T_chirp = B·ΔL/(k·c) must hold for every slot.
+  const auto cfg = base_config();
+  const auto a = SlopeAlphabet::design(cfg);
+  const double cycles = cfg.bandwidth_hz * cfg.delay_line.length_diff_m /
+                        (cfg.delay_line.velocity_factor * 299792458.0);
+  for (std::size_t s = 0; s < a.slot_count(); ++s)
+    EXPECT_NEAR(a.nominal_beat_frequency(s) * a.duration(s), cycles, 1e-6);
+}
+
+TEST(SlopeAlphabet, GrayMappingRoundTrip) {
+  const auto a = SlopeAlphabet::design(base_config(4));
+  for (std::size_t sym = 0; sym < a.data_symbol_count(); ++sym) {
+    const auto slot = a.slot_for_data(sym);
+    EXPECT_TRUE(a.is_data_slot(slot));
+    EXPECT_EQ(a.data_for_slot(slot), sym);
+  }
+  EXPECT_FALSE(a.is_data_slot(a.sync_slot()));
+  EXPECT_FALSE(a.is_data_slot(a.header_slot()));
+  EXPECT_FALSE(a.is_data_slot(1));  // guard
+}
+
+TEST(SlopeAlphabet, ChirpsShareBandwidthAndPeriod) {
+  const auto cfg = base_config();
+  const auto a = SlopeAlphabet::design(cfg);
+  for (std::size_t s = 0; s < a.slot_count(); ++s) {
+    const auto c = a.chirp(s);
+    EXPECT_DOUBLE_EQ(c.bandwidth_hz, cfg.bandwidth_hz);
+    EXPECT_NEAR(c.period(), cfg.chirp_period_s, 1e-12);
+    EXPECT_NO_THROW(rf::validate_chirp(c, cfg.max_duty + 1e-6));
+  }
+}
+
+TEST(SlopeAlphabet, LargerSymbolsTightenSpacing) {
+  const auto a4 = SlopeAlphabet::design(base_config(4));
+  const auto a6 = SlopeAlphabet::design(base_config(6));
+  EXPECT_GT(a4.beat_spacing_hz(), a6.beat_spacing_hz());
+}
+
+TEST(SlopeAlphabet, BandwidthScalesBeatSpan) {
+  auto cfg = base_config();
+  const auto a1 = SlopeAlphabet::design(cfg);
+  cfg.bandwidth_hz = 500e6;
+  const auto a2 = SlopeAlphabet::design(cfg);
+  EXPECT_NEAR(a1.nominal_beat_frequency(a1.header_slot()) /
+                  a2.nominal_beat_frequency(a2.header_slot()),
+              2.0, 1e-9);
+}
+
+TEST(SlopeAlphabet, NoGrayCodingOption) {
+  auto cfg = base_config(3);
+  cfg.gray_coding = false;
+  const auto a = SlopeAlphabet::design(cfg);
+  EXPECT_EQ(a.slot_for_data(5), a.first_data_slot() + 5);
+  EXPECT_EQ(a.data_for_slot(a.first_data_slot() + 5), 5u);
+}
+
+TEST(SlopeAlphabet, RejectsImpossibleConfig) {
+  auto cfg = base_config();
+  cfg.min_chirp_duration_s = 200e-6;  // exceeds max duty · period
+  EXPECT_THROW(SlopeAlphabet::design(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bis::phy

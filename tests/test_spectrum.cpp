@@ -1,0 +1,115 @@
+// Spectral estimation: periodogram normalization, Welch averaging,
+// spectrogram framing, tone frequency estimation, band power.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/random.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace bis::dsp {
+namespace {
+
+std::vector<double> tone(std::size_t n, double freq, double fs, double amp = 1.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = amp * std::cos(kTwoPi * freq * static_cast<double>(i) / fs);
+  return x;
+}
+
+TEST(Periodogram, ToneAmplitudeNormalization) {
+  // With the window-sum normalization, a unit real tone at a bin centre
+  // yields |X|² = 1/4 in its bin (half amplitude to each of ±f).
+  const double fs = 1000.0;
+  const auto x = tone(256, 125.0, fs, 1.0);  // bin 32 of 256
+  const auto p = periodogram(x, 256, WindowType::kRectangular);
+  EXPECT_NEAR(p[32], 0.25, 1e-9);
+}
+
+TEST(Periodogram, PeakAtToneForHann) {
+  const double fs = 500e3;
+  const auto x = tone(200, 60e3, fs);
+  const auto p = periodogram(x, 1024, WindowType::kHann);
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < p.size(); ++k)
+    if (p[k] > p[best]) best = k;
+  EXPECT_NEAR(static_cast<double>(best) * fs / 1024.0, 60e3, fs / 1024.0 * 1.5);
+}
+
+TEST(Welch, ReducesVarianceOnNoise) {
+  Rng rng(17);
+  std::vector<double> x(8192);
+  for (auto& v : x) v = rng.gaussian();
+  const auto single = periodogram(std::span<const double>(x.data(), 512), 512);
+  const auto averaged = welch(x, 512, 512);
+  // Compare spread of bins (noise PSD flat): Welch should be much tighter.
+  auto spread = [](const RVec& p) {
+    double mean = 0.0;
+    for (std::size_t k = 1; k + 1 < p.size(); ++k) mean += p[k];
+    mean /= static_cast<double>(p.size() - 2);
+    double var = 0.0;
+    for (std::size_t k = 1; k + 1 < p.size(); ++k)
+      var += (p[k] - mean) * (p[k] - mean);
+    return var / (mean * mean);
+  };
+  EXPECT_LT(spread(averaged), spread(single) / 4.0);
+}
+
+TEST(Spectrogram, FrameCountAndMetadata) {
+  const double fs = 500e3;
+  std::vector<double> x(1000, 0.0);
+  const auto sg = spectrogram(x, fs, 100, 50, 128);
+  EXPECT_EQ(sg.frames.size(), 19u);  // (1000-100)/50 + 1
+  EXPECT_DOUBLE_EQ(sg.frame_interval_s, 50.0 / fs);
+  EXPECT_DOUBLE_EQ(sg.bin_hz, fs / 128.0);
+  EXPECT_EQ(sg.frames.front().size(), 65u);
+}
+
+TEST(Spectrogram, LocalizesToneInTime) {
+  const double fs = 500e3;
+  std::vector<double> x(1200, 0.0);
+  const auto burst = tone(400, 80e3, fs);
+  std::copy(burst.begin(), burst.end(), x.begin() + 600);
+  const auto sg = spectrogram(x, fs, 100, 100, 256);
+  const auto bin = static_cast<std::size_t>(80e3 / sg.bin_hz);
+  // Quiet in the first frames, loud in the late frames.
+  EXPECT_LT(sg.frames[1][bin], 1e-12);
+  EXPECT_GT(sg.frames[8][bin], 1e-4);
+}
+
+TEST(EstimateTone, SubBinAccuracy) {
+  const double fs = 500e3;
+  for (double f : {23.4e3, 57.1e3, 110.9e3}) {
+    const auto x = tone(300, f, fs);
+    const double est = estimate_tone_frequency(x, fs, 5e3, 200e3);
+    EXPECT_NEAR(est, f, 150.0) << f;
+  }
+}
+
+TEST(EstimateTone, RespectsSearchBand) {
+  const double fs = 500e3;
+  auto x = tone(300, 50e3, fs);
+  const auto weak = tone(300, 150e3, fs, 0.2);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += weak[i];
+  // Restricting the band to the weak tone finds it, not the strong one.
+  const double est = estimate_tone_frequency(x, fs, 120e3, 180e3);
+  EXPECT_NEAR(est, 150e3, 300.0);
+}
+
+TEST(EstimateTone, EmptyBandReturnsZero) {
+  const auto x = tone(100, 50e3, 500e3);
+  EXPECT_EQ(estimate_tone_frequency(x, 500e3, 1.0, 2.0, 64), 0.0);
+}
+
+TEST(BandPower, CapturesToneEnergyInBand) {
+  const double fs = 500e3;
+  const auto x = tone(512, 60e3, fs);
+  const double in_band = band_power(x, fs, 50e3, 70e3, 1024);
+  const double out_band = band_power(x, fs, 100e3, 200e3, 1024);
+  EXPECT_GT(in_band, 100.0 * (out_band + 1e-15));
+}
+
+}  // namespace
+}  // namespace bis::dsp

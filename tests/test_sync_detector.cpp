@@ -1,0 +1,101 @@
+// The sliding-Goertzel sync search (paper §3.2.2's "sliding FFT over the
+// preamble") and the duration-matched classify_matched variant — both kept
+// as documented alternatives to the default period-indexed pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/random.hpp"
+#include "tag/sync_detector.hpp"
+#include "tag/symbol_demod.hpp"
+
+namespace bis::tag {
+namespace {
+
+constexpr double kFs = 500e3;
+
+/// Header tone then sync tone, continuous bursts.
+dsp::RVec preamble_stream(double header_hz, double sync_hz,
+                          std::size_t header_samples, std::size_t sync_samples,
+                          double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  dsp::RVec x(header_samples + sync_samples);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double f = i < header_samples ? header_hz : sync_hz;
+    const double t = static_cast<double>(i) / kFs;
+    x[i] = 0.5 + 0.5 * std::cos(kTwoPi * f * t) + rng.gaussian(0.0, noise);
+  }
+  return x;
+}
+
+TEST(SyncDetector, FindsHeaderToSyncTransition) {
+  SyncDetectorConfig cfg;
+  cfg.sample_rate_hz = kFs;
+  cfg.header_beat_hz = 120e3;
+  cfg.sync_beat_hz = 60e3;
+  cfg.window_s = 50e-6;
+  SyncDetector det(cfg);
+  const auto x = preamble_stream(120e3, 60e3, 400, 400, 0.02, 1);
+  const auto r = det.find_sync(x);
+  ASSERT_TRUE(r.has_value());
+  // Transition at sample 400; the detector reports once the trailing window
+  // is sync-dominated, so the estimate lags by up to a few window lengths.
+  EXPECT_GE(r->sync_start_sample, 380u);
+  EXPECT_LE(r->sync_start_sample, 650u);
+  EXPECT_GT(r->sync_power, r->header_power);
+}
+
+TEST(SyncDetector, NoSyncMeansNullopt) {
+  SyncDetectorConfig cfg;
+  cfg.sample_rate_hz = kFs;
+  cfg.header_beat_hz = 120e3;
+  cfg.sync_beat_hz = 60e3;
+  SyncDetector det(cfg);
+  const auto x = preamble_stream(120e3, 120e3, 400, 300, 0.02, 2);  // header only
+  EXPECT_FALSE(det.find_sync(x).has_value());
+}
+
+TEST(SyncDetector, RejectsInvalidConfig) {
+  SyncDetectorConfig cfg;
+  cfg.header_beat_hz = 0.0;
+  cfg.sync_beat_hz = 60e3;
+  EXPECT_THROW(SyncDetector{cfg}, std::invalid_argument);
+}
+
+TEST(ClassifyMatched, SelectsSlotByDurationAndFrequency) {
+  // Three slots whose duration and frequency are linked (the CSSK
+  // invariant: Δf·T constant).
+  SymbolDemodConfig cfg;
+  cfg.sample_rate_hz = kFs;
+  cfg.slot_beat_freqs_hz = {30e3, 60e3, 120e3};
+  cfg.slot_durations_s = {160e-6, 80e-6, 40e-6};
+  SymbolDemod demod(cfg);
+
+  Rng rng(3);
+  for (std::size_t slot = 0; slot < 3; ++slot) {
+    const auto n_active =
+        static_cast<std::size_t>(cfg.slot_durations_s[slot] * kFs);
+    dsp::RVec period(100, 0.0);  // active part then idle
+    for (std::size_t i = 0; i < n_active && i < period.size(); ++i) {
+      const double t = static_cast<double>(i) / kFs;
+      period[i] = 0.5 + 0.5 * std::cos(kTwoPi * cfg.slot_beat_freqs_hz[slot] * t);
+    }
+    for (auto& v : period) v += rng.gaussian(0.0, 0.01);
+    const auto r = demod.classify_matched(period);
+    EXPECT_EQ(r.slot, slot) << slot;
+  }
+}
+
+TEST(ClassifyMatched, RequiresDurations) {
+  SymbolDemodConfig cfg;
+  cfg.sample_rate_hz = kFs;
+  cfg.slot_beat_freqs_hz = {30e3, 60e3};
+  SymbolDemod demod(cfg);
+  dsp::RVec x(50, 0.1);
+  EXPECT_THROW(demod.classify_matched(x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bis::tag

@@ -1,0 +1,163 @@
+// Tag analog frontend: envelope stream structure, AGC, beat tone placement,
+// switch isolation, multipath cross terms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/types.hpp"
+#include "tag/tag_frontend.hpp"
+
+namespace bis::tag {
+namespace {
+
+struct Fixture {
+  TagFrontendConfig cfg;
+  Fixture() {
+    cfg.delay_line.length_diff_m = 45.0 * 0.0254;
+    cfg.delay_line.velocity_factor = 0.7;
+    cfg.envelope.conversion_gain = 1900.0;
+    cfg.envelope.output_noise_density = 1e-12;  // near-silent
+    cfg.adc.sample_rate_hz = 500e3;
+    cfg.adc.bits = 12;
+    cfg.adc.full_scale = 1.65;
+  }
+};
+
+rf::ChirpParams chirp(double duration_s = 60e-6, double bandwidth = 1e9) {
+  rf::ChirpParams c;
+  c.start_frequency_hz = 9e9;
+  c.bandwidth_hz = bandwidth;
+  c.duration_s = duration_s;
+  c.idle_s = 120e-6 - duration_s;
+  return c;
+}
+
+TEST(TagFrontend, StreamLengthCoversFullPeriod) {
+  Fixture f;
+  TagFrontend fe(f.cfg, Rng(1));
+  const std::vector<IncidentPath> paths = {{1e-4, 0.0, 0.0}};
+  fe.auto_gain(paths);
+  const auto s = fe.receive_chirp_period(chirp(), paths, true);
+  EXPECT_EQ(s.size(), 60u);  // 120 µs at 500 kS/s
+}
+
+TEST(TagFrontend, BeatToneAtEq11Frequency) {
+  Fixture f;
+  TagFrontend fe(f.cfg, Rng(2));
+  const std::vector<IncidentPath> paths = {{1e-4, 0.0, 0.0}};
+  fe.auto_gain(paths);
+  const auto c = chirp(96e-6);
+  const auto s = fe.receive_chirp_period(c, paths, true);
+  const auto n_active = static_cast<std::size_t>(c.duration_s * 500e3);
+  const rf::DelayLinePair line(f.cfg.delay_line);
+  const double expected = c.slope() * line.delta_t(c.center_frequency_hz());
+  const double measured = dsp::estimate_tone_frequency(
+      std::span<const double>(s.data(), n_active), 500e3, expected * 0.5,
+      expected * 1.5);
+  EXPECT_NEAR(measured, expected, 0.06 * expected);
+}
+
+TEST(TagFrontend, BeatScalesWithSlope) {
+  Fixture f;
+  TagFrontend fe(f.cfg, Rng(3));
+  const std::vector<IncidentPath> paths = {{1e-4, 0.0, 0.0}};
+  fe.auto_gain(paths);
+  const rf::DelayLinePair line(f.cfg.delay_line);
+  double measured[2];
+  const double durations[2] = {48e-6, 96e-6};
+  for (int i = 0; i < 2; ++i) {
+    const auto c = chirp(durations[i]);
+    const auto s = fe.receive_chirp_period(c, paths, true);
+    const auto n = static_cast<std::size_t>(c.duration_s * 500e3);
+    const double exp_f = c.slope() * line.delta_t(c.center_frequency_hz());
+    measured[i] = dsp::estimate_tone_frequency(
+        std::span<const double>(s.data(), n), 500e3, exp_f * 0.6, exp_f * 1.4);
+  }
+  // Halving the duration doubles the slope and thus the beat (Eq. 11).
+  EXPECT_NEAR(measured[0] / measured[1], 2.0, 0.15);
+}
+
+TEST(TagFrontend, IdleIsQuiet) {
+  Fixture f;
+  TagFrontend fe(f.cfg, Rng(4));
+  const std::vector<IncidentPath> paths = {{1e-4, 0.0, 0.0}};
+  fe.auto_gain(paths);
+  const auto c = chirp(40e-6);
+  const auto s = fe.receive_chirp_period(c, paths, true);
+  double active_energy = 0.0, idle_energy = 0.0;
+  const std::size_t n_active = 20;
+  for (std::size_t i = 0; i < n_active; ++i) active_energy += s[i] * s[i];
+  for (std::size_t i = 30; i < 60; ++i) idle_energy += s[i] * s[i];
+  EXPECT_GT(active_energy / static_cast<double>(n_active),
+            100.0 * (idle_energy / 30.0 + 1e-30));
+}
+
+TEST(TagFrontend, ReflectiveModeLeaksOnlyIsolation) {
+  Fixture f;
+  TagFrontend fe(f.cfg, Rng(5));
+  const std::vector<IncidentPath> paths = {{1e-4, 0.0, 0.0}};
+  fe.auto_gain(paths);
+  const auto c = chirp();
+  const auto absorptive = fe.receive_chirp_period(c, paths, true);
+  const auto reflective = fe.receive_chirp_period(c, paths, false);
+  const double ea = bis::dsp::energy(std::span<const double>(absorptive));
+  const double er = bis::dsp::energy(std::span<const double>(reflective));
+  // Isolation 35 dB on amplitude → 70 dB on the square-law output energy.
+  EXPECT_LT(er, ea * 1e-4);
+}
+
+TEST(TagFrontend, AutoGainTargetsAdcRange) {
+  Fixture f;
+  TagFrontend fe(f.cfg, Rng(6));
+  for (double amp : {1e-5, 1e-4, 1e-3}) {
+    const std::vector<IncidentPath> paths = {{amp, 0.0, 0.0}};
+    fe.auto_gain(paths);
+    const auto s = fe.receive_chirp_period(chirp(), paths, true);
+    double peak = 0.0;
+    for (double v : s) peak = std::max(peak, std::abs(v));
+    EXPECT_GT(peak, 0.1) << amp;   // not buried in quantization
+    EXPECT_LE(peak, 1.65) << amp;  // not past the rails
+  }
+}
+
+TEST(TagFrontend, MultipathAddsCrossTones) {
+  Fixture f;
+  f.cfg.model_multipath_cross_terms = true;
+  TagFrontend fe(f.cfg, Rng(7));
+  // Strong reflection 20 ns late: cross tone at α·(Δτ±ΔT) and α·Δτ.
+  const std::vector<IncidentPath> paths = {{1e-4, 0.0, 0.0}, {5e-5, 20e-9, 1.0}};
+  fe.auto_gain(paths);
+  const auto c = chirp(96e-6);
+  const auto s = fe.receive_chirp_period(c, paths, true);
+  const auto n = static_cast<std::size_t>(c.duration_s * 500e3);
+  // Expect spectral energy at α·Δτ (the LoS×echo beat).
+  const double f_mp = c.slope() * 20e-9;
+  const double p_mp = dsp::band_power(std::span<const double>(s.data(), n), 500e3,
+                                      f_mp * 0.8, f_mp * 1.2, 1024);
+  f.cfg.model_multipath_cross_terms = false;
+  TagFrontend fe2(f.cfg, Rng(7));
+  fe2.auto_gain(paths);
+  const auto s2 = fe2.receive_chirp_period(c, paths, true);
+  const double p_clean = dsp::band_power(std::span<const double>(s2.data(), n),
+                                         500e3, f_mp * 0.8, f_mp * 1.2, 1024);
+  EXPECT_GT(p_mp, 5.0 * (p_clean + 1e-30));
+}
+
+TEST(TagFrontend, FrameConcatenatesPeriods) {
+  Fixture f;
+  TagFrontend fe(f.cfg, Rng(8));
+  const std::vector<IncidentPath> paths = {{1e-4, 0.0, 0.0}};
+  fe.auto_gain(paths);
+  std::vector<rf::ChirpParams> chirps = {chirp(40e-6), chirp(60e-6), chirp(96e-6)};
+  std::unique_ptr<bool[]> flags(new bool[3]);
+  std::fill_n(flags.get(), 3, true);
+  const auto stream =
+      fe.receive_frame(chirps, paths, std::span<const bool>(flags.get(), 3));
+  EXPECT_EQ(stream.size(), 180u);  // 3 × 60 samples
+}
+
+}  // namespace
+}  // namespace bis::tag

@@ -1,0 +1,96 @@
+// Tag power model (paper §4.1) and uplink modulator behaviour.
+
+#include <gtest/gtest.h>
+
+#include "tag/power_model.hpp"
+#include "tag/tag_modulator.hpp"
+
+namespace bis::tag {
+namespace {
+
+TEST(PowerModel, ContinuousModeNear48mW) {
+  const PowerModel pm{TagPowerConfig{}};
+  // Paper §4.1: switch 2.86 µW + detector 8 mW + MCU ≈ 40 mW → ≈ 48 mW.
+  EXPECT_NEAR(pm.average_power_w(TagOperatingMode::kContinuous), 48e-3, 1e-3);
+}
+
+TEST(PowerModel, SequentialModeSavesPower) {
+  const PowerModel pm{TagPowerConfig{}};
+  const double cont = pm.average_power_w(TagOperatingMode::kContinuous);
+  const double seq = pm.average_power_w(TagOperatingMode::kSequential);
+  EXPECT_LT(seq, cont);
+  // With a 50/50 split the MCU+detector duty roughly halves the budget.
+  EXPECT_NEAR(seq, cont / 2.0, 4e-3);
+}
+
+TEST(PowerModel, BreakdownSumsToTotal) {
+  const PowerModel pm{TagPowerConfig{}};
+  for (auto mode : {TagOperatingMode::kContinuous, TagOperatingMode::kSequential}) {
+    double sum = 0.0;
+    for (const auto& c : pm.breakdown(mode)) sum += c.active_power_w;
+    EXPECT_NEAR(sum, pm.average_power_w(mode), 1e-12);
+  }
+}
+
+TEST(PowerModel, CustomIcProjection) {
+  EXPECT_DOUBLE_EQ(PowerModel::custom_ic_projection_w(), 4e-3);
+}
+
+TEST(PowerModel, EnergyPerBit) {
+  const PowerModel pm{TagPowerConfig{}};
+  // 48 mW at ~41.7 kbps → ≈ 1.15 µJ/bit.
+  const double e = pm.energy_per_bit_j(TagOperatingMode::kContinuous, 41.7e3);
+  EXPECT_NEAR(e, 48e-3 / 41.7e3, 1e-9);
+}
+
+TEST(TagModulator, EmitsQueuedSymbols) {
+  phy::UplinkConfig cfg;
+  cfg.scheme = phy::UplinkScheme::kFsk;
+  cfg.mod_frequencies_hz = {800, 1200, 1600, 2000};
+  cfg.chirps_per_symbol = 64;
+  cfg.chirp_period_s = 120e-6;
+  TagModulator mod(cfg);
+  mod.queue_bits({1, 0, 0, 1});  // two symbols
+  EXPECT_EQ(mod.pending_bits(), 4u);
+  const auto states = mod.next_states(128);
+  EXPECT_EQ(states.size(), 128u);
+  EXPECT_EQ(mod.pending_bits(), 0u);
+  // Must match the stateless reference modulation.
+  const auto ref = phy::uplink_modulate(cfg, std::vector<int>{1, 0, 0, 1});
+  EXPECT_EQ(states, ref);
+}
+
+TEST(TagModulator, BeaconsWhenIdle) {
+  phy::UplinkConfig cfg;
+  cfg.scheme = phy::UplinkScheme::kOok;
+  cfg.mod_frequencies_hz = {1000.0};
+  cfg.chirps_per_symbol = 32;
+  cfg.chirp_period_s = 120e-6;
+  TagModulator mod(cfg);
+  const auto states = mod.next_states(64);
+  // Idle beacon toggles at the assigned frequency rather than sitting still.
+  int transitions = 0;
+  for (std::size_t i = 1; i < states.size(); ++i)
+    if (states[i] != states[i - 1]) ++transitions;
+  EXPECT_GE(transitions, 6);
+}
+
+TEST(TagModulator, PartialDrainsAcrossCalls) {
+  phy::UplinkConfig cfg;
+  cfg.scheme = phy::UplinkScheme::kFsk;
+  cfg.mod_frequencies_hz = {800, 1600};
+  cfg.chirps_per_symbol = 64;
+  cfg.chirp_period_s = 120e-6;
+  TagModulator mod(cfg);
+  mod.queue_bits({1});
+  const auto a = mod.next_states(40);
+  const auto b = mod.next_states(24);
+  std::vector<int> combined(a);
+  combined.insert(combined.end(), b.begin(), b.end());
+  const auto ref = phy::uplink_modulate(cfg, std::vector<int>{1});
+  ASSERT_EQ(combined.size(), ref.size());
+  EXPECT_EQ(combined, ref);
+}
+
+}  // namespace
+}  // namespace bis::tag

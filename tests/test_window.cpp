@@ -1,0 +1,110 @@
+// Window function properties: symmetry, peak, ENBW values, Kaiser/Bessel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/window.hpp"
+
+namespace bis::dsp {
+namespace {
+
+class Windows : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(Windows, SymmetricAndBounded) {
+  const auto w = make_window(GetParam(), 65);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12) << window_name(GetParam());
+    EXPECT_GE(w[i], -1e-12);
+    EXPECT_LE(w[i], 1.0 + 1e-12);
+  }
+}
+
+TEST_P(Windows, PeaksAtCentre) {
+  const auto w = make_window(GetParam(), 65);
+  EXPECT_NEAR(w[32], 1.0, 1e-9) << window_name(GetParam());
+}
+
+TEST_P(Windows, SingleSampleIsUnity) {
+  const auto w = make_window(GetParam(), 1);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, Windows,
+                         ::testing::Values(WindowType::kRectangular,
+                                           WindowType::kHann, WindowType::kHamming,
+                                           WindowType::kBlackman,
+                                           WindowType::kBlackmanHarris,
+                                           WindowType::kKaiser));
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = make_window(WindowType::kRectangular, 16);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, HannEndpointsZero) {
+  const auto w = make_window(WindowType::kHann, 33);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+}
+
+TEST(Window, EnbwReferenceValues) {
+  // Known ENBW: rect = 1.0, Hann = 1.5, Hamming ≈ 1.363.
+  const auto rect = make_window(WindowType::kRectangular, 4096);
+  const auto hann = make_window(WindowType::kHann, 4096);
+  const auto hamming = make_window(WindowType::kHamming, 4096);
+  EXPECT_NEAR(equivalent_noise_bandwidth(rect), 1.0, 1e-9);
+  EXPECT_NEAR(equivalent_noise_bandwidth(hann), 1.5, 1e-2);
+  EXPECT_NEAR(equivalent_noise_bandwidth(hamming), 1.363, 1e-2);
+}
+
+TEST(Window, KaiserBetaZeroIsRectangular) {
+  const auto w = make_window(WindowType::kKaiser, 31, 0.0);
+  for (double v : w) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(Window, KaiserNarrowsWithBeta) {
+  const auto w4 = make_window(WindowType::kKaiser, 65, 4.0);
+  const auto w12 = make_window(WindowType::kKaiser, 65, 12.0);
+  // Larger beta tapers harder at the edges.
+  EXPECT_GT(w4[5], w12[5]);
+}
+
+TEST(Window, BesselI0Values) {
+  EXPECT_NEAR(bessel_i0(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(bessel_i0(1.0), 1.2660658777520084, 1e-10);
+  EXPECT_NEAR(bessel_i0(5.0), 27.239871823604442, 1e-7);
+}
+
+TEST(Window, ApplyWindowMultiplies) {
+  std::vector<double> x = {2.0, 2.0, 2.0};
+  std::vector<double> w = {0.5, 1.0, 0.25};
+  const auto y = apply_window(x, w);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.5);
+}
+
+TEST(Window, ApplyWindowComplex) {
+  std::vector<std::complex<double>> x = {{1.0, 2.0}, {3.0, -1.0}};
+  std::vector<double> w = {2.0, 0.5};
+  const auto y = apply_window(std::span<const std::complex<double>>(x), w);
+  EXPECT_DOUBLE_EQ(y[0].real(), 2.0);
+  EXPECT_DOUBLE_EQ(y[0].imag(), 4.0);
+  EXPECT_DOUBLE_EQ(y[1].real(), 1.5);
+}
+
+TEST(Window, WindowSum) {
+  const auto w = make_window(WindowType::kRectangular, 10);
+  EXPECT_DOUBLE_EQ(window_sum(w), 10.0);
+}
+
+TEST(Window, SizeMismatchThrows) {
+  std::vector<double> x(4, 1.0);
+  std::vector<double> w(3, 1.0);
+  EXPECT_THROW(apply_window(x, w), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bis::dsp
