@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datarate.dir/bench_datarate.cpp.o"
+  "CMakeFiles/bench_datarate.dir/bench_datarate.cpp.o.d"
+  "bench_datarate"
+  "bench_datarate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datarate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsp_kernels.dir/bench_dsp_kernels.cpp.o"
+  "CMakeFiles/bench_dsp_kernels.dir/bench_dsp_kernels.cpp.o.d"
+  "bench_dsp_kernels"
+  "bench_dsp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_beat_frequency.dir/bench_fig05_beat_frequency.cpp.o"
+  "CMakeFiles/bench_fig05_beat_frequency.dir/bench_fig05_beat_frequency.cpp.o.d"
+  "bench_fig05_beat_frequency"
+  "bench_fig05_beat_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_beat_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_if_correction.dir/bench_fig07_if_correction.cpp.o"
+  "CMakeFiles/bench_fig07_if_correction.dir/bench_fig07_if_correction.cpp.o.d"
+  "bench_fig07_if_correction"
+  "bench_fig07_if_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_if_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

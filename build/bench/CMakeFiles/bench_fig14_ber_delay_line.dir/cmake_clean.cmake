@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_ber_delay_line.dir/bench_fig14_ber_delay_line.cpp.o"
+  "CMakeFiles/bench_fig14_ber_delay_line.dir/bench_fig14_ber_delay_line.cpp.o.d"
+  "bench_fig14_ber_delay_line"
+  "bench_fig14_ber_delay_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ber_delay_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_uplink_snr.dir/bench_fig15_uplink_snr.cpp.o"
+  "CMakeFiles/bench_fig15_uplink_snr.dir/bench_fig15_uplink_snr.cpp.o.d"
+  "bench_fig15_uplink_snr"
+  "bench_fig15_uplink_snr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_uplink_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_localization.dir/bench_fig16_localization.cpp.o"
+  "CMakeFiles/bench_fig16_localization.dir/bench_fig16_localization.cpp.o.d"
+  "bench_fig16_localization"
+  "bench_fig16_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_mmwave.dir/bench_fig17_mmwave.cpp.o"
+  "CMakeFiles/bench_fig17_mmwave.dir/bench_fig17_mmwave.cpp.o.d"
+  "bench_fig17_mmwave"
+  "bench_fig17_mmwave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_mmwave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_capabilities.dir/bench_table1_capabilities.cpp.o"
+  "CMakeFiles/bench_table1_capabilities.dir/bench_table1_capabilities.cpp.o.d"
+  "bench_table1_capabilities"
+  "bench_table1_capabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_capabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_power.dir/bench_table_power.cpp.o"
+  "CMakeFiles/bench_table_power.dir/bench_table_power.cpp.o.d"
+  "bench_table_power"
+  "bench_table_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_adaptation.dir/link_adaptation.cpp.o"
+  "CMakeFiles/link_adaptation.dir/link_adaptation.cpp.o.d"
+  "link_adaptation"
+  "link_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transparent_sensing.dir/transparent_sensing.cpp.o"
+  "CMakeFiles/transparent_sensing.dir/transparent_sensing.cpp.o.d"
+  "transparent_sensing"
+  "transparent_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transparent_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_asset_tracking.dir/warehouse_asset_tracking.cpp.o"
+  "CMakeFiles/warehouse_asset_tracking.dir/warehouse_asset_tracking.cpp.o.d"
+  "warehouse_asset_tracking"
+  "warehouse_asset_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_asset_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

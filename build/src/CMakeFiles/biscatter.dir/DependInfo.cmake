@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/biscatter.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/biscatter.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/biscatter.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/common/stats.cpp.o.d"
+  "/root/repo/src/core/experiments.cpp" "src/CMakeFiles/biscatter.dir/core/experiments.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/core/experiments.cpp.o.d"
+  "/root/repo/src/core/link_simulator.cpp" "src/CMakeFiles/biscatter.dir/core/link_simulator.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/core/link_simulator.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/CMakeFiles/biscatter.dir/core/network.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/core/network.cpp.o.d"
+  "/root/repo/src/core/system_config.cpp" "src/CMakeFiles/biscatter.dir/core/system_config.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/core/system_config.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/biscatter.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/filter.cpp" "src/CMakeFiles/biscatter.dir/dsp/filter.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/dsp/filter.cpp.o.d"
+  "/root/repo/src/dsp/goertzel.cpp" "src/CMakeFiles/biscatter.dir/dsp/goertzel.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/dsp/goertzel.cpp.o.d"
+  "/root/repo/src/dsp/matched_filter.cpp" "src/CMakeFiles/biscatter.dir/dsp/matched_filter.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/dsp/matched_filter.cpp.o.d"
+  "/root/repo/src/dsp/peak.cpp" "src/CMakeFiles/biscatter.dir/dsp/peak.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/dsp/peak.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/CMakeFiles/biscatter.dir/dsp/resample.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/dsp/resample.cpp.o.d"
+  "/root/repo/src/dsp/spectrum.cpp" "src/CMakeFiles/biscatter.dir/dsp/spectrum.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/dsp/spectrum.cpp.o.d"
+  "/root/repo/src/dsp/tone_fit.cpp" "src/CMakeFiles/biscatter.dir/dsp/tone_fit.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/dsp/tone_fit.cpp.o.d"
+  "/root/repo/src/dsp/types.cpp" "src/CMakeFiles/biscatter.dir/dsp/types.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/dsp/types.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/CMakeFiles/biscatter.dir/dsp/window.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/dsp/window.cpp.o.d"
+  "/root/repo/src/phy/ber.cpp" "src/CMakeFiles/biscatter.dir/phy/ber.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/phy/ber.cpp.o.d"
+  "/root/repo/src/phy/bits.cpp" "src/CMakeFiles/biscatter.dir/phy/bits.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/phy/bits.cpp.o.d"
+  "/root/repo/src/phy/crc.cpp" "src/CMakeFiles/biscatter.dir/phy/crc.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/phy/crc.cpp.o.d"
+  "/root/repo/src/phy/datarate.cpp" "src/CMakeFiles/biscatter.dir/phy/datarate.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/phy/datarate.cpp.o.d"
+  "/root/repo/src/phy/fec.cpp" "src/CMakeFiles/biscatter.dir/phy/fec.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/phy/fec.cpp.o.d"
+  "/root/repo/src/phy/packet.cpp" "src/CMakeFiles/biscatter.dir/phy/packet.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/phy/packet.cpp.o.d"
+  "/root/repo/src/phy/slope_alphabet.cpp" "src/CMakeFiles/biscatter.dir/phy/slope_alphabet.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/phy/slope_alphabet.cpp.o.d"
+  "/root/repo/src/phy/uplink.cpp" "src/CMakeFiles/biscatter.dir/phy/uplink.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/phy/uplink.cpp.o.d"
+  "/root/repo/src/radar/if_synthesizer.cpp" "src/CMakeFiles/biscatter.dir/radar/if_synthesizer.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/radar/if_synthesizer.cpp.o.d"
+  "/root/repo/src/radar/range_align.cpp" "src/CMakeFiles/biscatter.dir/radar/range_align.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/radar/range_align.cpp.o.d"
+  "/root/repo/src/radar/range_processor.cpp" "src/CMakeFiles/biscatter.dir/radar/range_processor.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/radar/range_processor.cpp.o.d"
+  "/root/repo/src/radar/scene.cpp" "src/CMakeFiles/biscatter.dir/radar/scene.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/radar/scene.cpp.o.d"
+  "/root/repo/src/radar/tag_detector.cpp" "src/CMakeFiles/biscatter.dir/radar/tag_detector.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/radar/tag_detector.cpp.o.d"
+  "/root/repo/src/radar/uplink_decoder.cpp" "src/CMakeFiles/biscatter.dir/radar/uplink_decoder.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/radar/uplink_decoder.cpp.o.d"
+  "/root/repo/src/rf/adc.cpp" "src/CMakeFiles/biscatter.dir/rf/adc.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/rf/adc.cpp.o.d"
+  "/root/repo/src/rf/antenna.cpp" "src/CMakeFiles/biscatter.dir/rf/antenna.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/rf/antenna.cpp.o.d"
+  "/root/repo/src/rf/channel.cpp" "src/CMakeFiles/biscatter.dir/rf/channel.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/rf/channel.cpp.o.d"
+  "/root/repo/src/rf/chirp.cpp" "src/CMakeFiles/biscatter.dir/rf/chirp.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/rf/chirp.cpp.o.d"
+  "/root/repo/src/rf/delay_line.cpp" "src/CMakeFiles/biscatter.dir/rf/delay_line.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/rf/delay_line.cpp.o.d"
+  "/root/repo/src/rf/envelope_detector.cpp" "src/CMakeFiles/biscatter.dir/rf/envelope_detector.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/rf/envelope_detector.cpp.o.d"
+  "/root/repo/src/rf/link_budget.cpp" "src/CMakeFiles/biscatter.dir/rf/link_budget.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/rf/link_budget.cpp.o.d"
+  "/root/repo/src/rf/microstrip.cpp" "src/CMakeFiles/biscatter.dir/rf/microstrip.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/rf/microstrip.cpp.o.d"
+  "/root/repo/src/rf/noise.cpp" "src/CMakeFiles/biscatter.dir/rf/noise.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/rf/noise.cpp.o.d"
+  "/root/repo/src/rf/rf_switch.cpp" "src/CMakeFiles/biscatter.dir/rf/rf_switch.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/rf/rf_switch.cpp.o.d"
+  "/root/repo/src/rf/two_port.cpp" "src/CMakeFiles/biscatter.dir/rf/two_port.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/rf/two_port.cpp.o.d"
+  "/root/repo/src/rf/van_atta.cpp" "src/CMakeFiles/biscatter.dir/rf/van_atta.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/rf/van_atta.cpp.o.d"
+  "/root/repo/src/rf/waveform.cpp" "src/CMakeFiles/biscatter.dir/rf/waveform.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/rf/waveform.cpp.o.d"
+  "/root/repo/src/tag/burst_gate.cpp" "src/CMakeFiles/biscatter.dir/tag/burst_gate.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/tag/burst_gate.cpp.o.d"
+  "/root/repo/src/tag/calibration.cpp" "src/CMakeFiles/biscatter.dir/tag/calibration.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/tag/calibration.cpp.o.d"
+  "/root/repo/src/tag/period_estimator.cpp" "src/CMakeFiles/biscatter.dir/tag/period_estimator.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/tag/period_estimator.cpp.o.d"
+  "/root/repo/src/tag/periodic_gate.cpp" "src/CMakeFiles/biscatter.dir/tag/periodic_gate.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/tag/periodic_gate.cpp.o.d"
+  "/root/repo/src/tag/power_model.cpp" "src/CMakeFiles/biscatter.dir/tag/power_model.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/tag/power_model.cpp.o.d"
+  "/root/repo/src/tag/symbol_demod.cpp" "src/CMakeFiles/biscatter.dir/tag/symbol_demod.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/tag/symbol_demod.cpp.o.d"
+  "/root/repo/src/tag/sync_detector.cpp" "src/CMakeFiles/biscatter.dir/tag/sync_detector.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/tag/sync_detector.cpp.o.d"
+  "/root/repo/src/tag/tag_decoder.cpp" "src/CMakeFiles/biscatter.dir/tag/tag_decoder.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/tag/tag_decoder.cpp.o.d"
+  "/root/repo/src/tag/tag_frontend.cpp" "src/CMakeFiles/biscatter.dir/tag/tag_frontend.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/tag/tag_frontend.cpp.o.d"
+  "/root/repo/src/tag/tag_modulator.cpp" "src/CMakeFiles/biscatter.dir/tag/tag_modulator.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/tag/tag_modulator.cpp.o.d"
+  "/root/repo/src/tag/tag_node.cpp" "src/CMakeFiles/biscatter.dir/tag/tag_node.cpp.o" "gcc" "src/CMakeFiles/biscatter.dir/tag/tag_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bits_crc_fec.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_bits_crc_fec.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_bits_crc_fec.cpp.o.d"
+  "/root/repo/tests/test_chirp.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_chirp.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_chirp.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_envelope_delayline.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_envelope_delayline.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_envelope_delayline.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_filter.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_filter.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_filter.cpp.o.d"
+  "/root/repo/tests/test_goertzel.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_goertzel.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_goertzel.cpp.o.d"
+  "/root/repo/tests/test_if_synthesizer.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_if_synthesizer.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_if_synthesizer.cpp.o.d"
+  "/root/repo/tests/test_link_budget.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_link_budget.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_link_budget.cpp.o.d"
+  "/root/repo/tests/test_link_simulator.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_link_simulator.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_link_simulator.cpp.o.d"
+  "/root/repo/tests/test_matched_filter.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_matched_filter.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_matched_filter.cpp.o.d"
+  "/root/repo/tests/test_microstrip.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_microstrip.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_microstrip.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_packet.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_packet.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_packet.cpp.o.d"
+  "/root/repo/tests/test_peak.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_peak.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_peak.cpp.o.d"
+  "/root/repo/tests/test_period_gate.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_period_gate.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_period_gate.cpp.o.d"
+  "/root/repo/tests/test_range_processing.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_range_processing.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_range_processing.cpp.o.d"
+  "/root/repo/tests/test_resample.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_resample.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_resample.cpp.o.d"
+  "/root/repo/tests/test_rf_components.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_rf_components.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_rf_components.cpp.o.d"
+  "/root/repo/tests/test_slope_alphabet.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_slope_alphabet.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_slope_alphabet.cpp.o.d"
+  "/root/repo/tests/test_spectrum.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_spectrum.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_spectrum.cpp.o.d"
+  "/root/repo/tests/test_symbol_demod_calibration.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_symbol_demod_calibration.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_symbol_demod_calibration.cpp.o.d"
+  "/root/repo/tests/test_sync_detector.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_sync_detector.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_sync_detector.cpp.o.d"
+  "/root/repo/tests/test_tag_decoder.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_tag_decoder.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_tag_decoder.cpp.o.d"
+  "/root/repo/tests/test_tag_detector.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_tag_detector.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_tag_detector.cpp.o.d"
+  "/root/repo/tests/test_tag_frontend.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_tag_frontend.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_tag_frontend.cpp.o.d"
+  "/root/repo/tests/test_tag_node_power.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_tag_node_power.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_tag_node_power.cpp.o.d"
+  "/root/repo/tests/test_tone_fit.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_tone_fit.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_tone_fit.cpp.o.d"
+  "/root/repo/tests/test_uplink_phy.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_uplink_phy.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_uplink_phy.cpp.o.d"
+  "/root/repo/tests/test_window.cpp" "tests/CMakeFiles/biscatter_tests.dir/test_window.cpp.o" "gcc" "tests/CMakeFiles/biscatter_tests.dir/test_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/biscatter.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
