@@ -1,0 +1,65 @@
+#pragma once
+
+/// @file thread_pool.hpp
+/// Minimal fixed-size thread pool and a deterministic parallel_for built on
+/// it. The DSP engine fans pure per-item maps (per-chirp range FFTs,
+/// per-profile regridding, per-range-bin slow-time scoring) across threads;
+/// every item writes only its own preallocated output slot, so results are
+/// bit-identical regardless of thread count or scheduling order. No work
+/// stealing, no task futures — one blocking parallel_for is all the radar
+/// pipeline needs.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace bis {
+
+class ThreadPool {
+ public:
+  /// A pool with @p n_threads total lanes of concurrency. The calling thread
+  /// participates in parallel_for, so n_threads == 1 spawns no workers and
+  /// runs everything inline.
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (worker threads + the calling thread).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run fn(i) for every i in [begin, end), blocking until all complete.
+  /// Items are claimed in chunks from a shared counter; since each item is
+  /// independent and writes its own slot, output is deterministic. The first
+  /// exception thrown by any item is rethrown on the caller after the loop
+  /// drains. Nested calls from inside a worker run inline (no deadlock).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool sized to the hardware (min 1 lane), created on first
+/// use. With one hardware thread it has no workers and parallel_for runs
+/// inline, so defaulting to it is always safe.
+ThreadPool& global_pool();
+
+/// Convenience wrapper: run fn(i) over [begin, end) on @p pool, or inline
+/// when @p pool is null or has a single lane.
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace bis

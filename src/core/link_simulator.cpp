@@ -22,13 +22,23 @@ tag::TagNodeConfig prepare_tag_config(const SystemConfig& config) {
 
 }  // namespace
 
+ThreadPool* resolve_dsp_pool(std::size_t dsp_threads,
+                             std::unique_ptr<ThreadPool>& owned) {
+  owned.reset();
+  if (dsp_threads == 1) return nullptr;
+  if (dsp_threads == 0) return &global_pool();
+  owned = std::make_unique<ThreadPool>(dsp_threads);
+  return owned.get();
+}
+
 LinkSimulator::LinkSimulator(const SystemConfig& config)
     : config_(config),
       alphabet_(config.make_alphabet()),
       rng_(config.seed),
       tag_(prepare_tag_config(config), alphabet_, Rng(config.seed ^ 0x7A67ull)),
       range_processor_(radar::RangeProcessorConfig{}),
-      aligner_(radar::RangeAlignConfig{}) {
+      aligner_(radar::RangeAlignConfig{}),
+      pool_(resolve_dsp_pool(config.dsp_threads, owned_pool_)) {
   // Scene: tag amplitude from the two-way retro link budget; clutter
   // objects at fixed positions with absolute (range-dependent) returns, so
   // moving the tag changes the tag-to-clutter dynamics realistically.
@@ -154,20 +164,23 @@ UplinkRunResult LinkSimulator::process_uplink_frame(
   const double leak =
       db_to_amplitude(-config_.tag.node.frontend.rf_switch.isolation_db);
 
-  std::vector<radar::RangeProfile> profiles;
-  profiles.reserve(chirps.size());
+  // Synthesis stays sequential: the synthesizer draws noise from one RNG
+  // stream whose consumption order must not depend on thread count. The DSP
+  // (range FFTs, alignment, slow-time scoring) is pure and fans across the
+  // pool with bit-identical results.
+  std::vector<dsp::CVec> if_samples(chirps.size());
   double mean_samples = 0.0;
   for (std::size_t i = 0; i < chirps.size(); ++i) {
     const double factor = tag_states[i] ? reflect : leak;
     const auto returns = chirp_returns(factor);
-    const auto if_samples = synth.synthesize(chirps[i], returns);
-    mean_samples += static_cast<double>(if_samples.size());
-    profiles.push_back(range_processor_.process(if_samples, chirps[i],
-                                                config_.radar.if_synth.sample_rate_hz));
+    if_samples[i] = synth.synthesize(chirps[i], returns);
+    mean_samples += static_cast<double>(if_samples[i].size());
   }
   mean_samples /= static_cast<double>(chirps.size());
 
-  auto aligned = aligner_.align(profiles);
+  const auto profiles = range_processor_.process_frame(
+      if_samples, chirps, config_.radar.if_synth.sample_rate_hz, pool_);
+  auto aligned = aligner_.align(profiles, pool_);
   if (config_.use_background_subtraction) radar::subtract_background(aligned, 0);
 
   const auto& ul = tag_.modulator().config();
@@ -183,7 +196,7 @@ UplinkRunResult LinkSimulator::process_uplink_frame(
 
   UplinkRunResult result;
   result.downlink_active = downlink_active;
-  result.detection = detector.detect(aligned);
+  result.detection = detector.detect(aligned, pool_);
   result.snr_processed_db = result.detection.snr_db;
   const double gain_db = 10.0 * std::log10(std::max(mean_samples, 1.0)) +
                          10.0 * std::log10(static_cast<double>(chirps.size()));

@@ -15,6 +15,7 @@
 
 #include <memory>
 
+#include "common/thread_pool.hpp"
 #include "core/system_config.hpp"
 #include "phy/ber.hpp"
 #include "radar/if_synthesizer.hpp"
@@ -112,6 +113,14 @@ class LinkSimulator {
   radar::Scene scene_;
   radar::RangeProcessor range_processor_;
   radar::RangeAligner aligner_;
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< When config_.dsp_threads > 1.
+  ThreadPool* pool_ = nullptr;              ///< nullptr = sequential.
 };
+
+/// Resolve a dsp_threads setting (see SystemConfig) to the pool the frame
+/// pipeline should use: nullptr for sequential, the shared hardware-sized
+/// pool for 0, or a freshly owned pool for an explicit lane count.
+ThreadPool* resolve_dsp_pool(std::size_t dsp_threads,
+                             std::unique_ptr<ThreadPool>& owned);
 
 }  // namespace bis::core

@@ -28,6 +28,7 @@ std::vector<double> assign_mod_frequencies(std::size_t n, double chirp_period_s)
 
 BiScatterNetwork::BiScatterNetwork(const NetworkConfig& config) : config_(config) {
   BIS_CHECK(!config_.tags.empty());
+  pool_ = resolve_dsp_pool(config_.base.dsp_threads, owned_pool_);
   links_.reserve(config_.tags.size());
   for (std::size_t i = 0; i < config_.tags.size(); ++i) {
     const auto& t = config_.tags[i];
@@ -122,13 +123,14 @@ std::vector<TagObservation> BiScatterNetwork::sense_all(bool downlink_active) {
 
   radar::IfSynthesizer synth(base.radar.if_synth, rng.fork());
   radar::RangeProcessor processor{radar::RangeProcessorConfig{}};
-  std::vector<radar::RangeProfile> profiles;
-  profiles.reserve(n_chirps);
   const double reflect =
       db_to_amplitude(-base.tag.node.frontend.rf_switch.insertion_loss_db);
   const double leak =
       db_to_amplitude(-base.tag.node.frontend.rf_switch.isolation_db);
 
+  // Synthesis stays sequential (single RNG stream); the frame DSP below
+  // fans across the pool with bit-identical results.
+  std::vector<dsp::CVec> if_samples(n_chirps);
   for (std::size_t c = 0; c < n_chirps; ++c) {
     std::vector<radar::IfReturn> returns;
     for (const auto& cl : clutter_scene.clutter)
@@ -142,13 +144,13 @@ std::vector<TagObservation> BiScatterNetwork::sense_all(bool downlink_active) {
                          tag_amp[i] * (on ? reflect : leak),
                          0.37 * static_cast<double>(i)});
     }
-    const auto if_samples = synth.synthesize(chirps[c], returns);
-    profiles.push_back(processor.process(if_samples, chirps[c],
-                                         base.radar.if_synth.sample_rate_hz));
+    if_samples[c] = synth.synthesize(chirps[c], returns);
   }
+  const auto profiles = processor.process_frame(
+      if_samples, chirps, base.radar.if_synth.sample_rate_hz, pool_);
 
   radar::RangeAligner aligner{radar::RangeAlignConfig{}};
-  auto aligned = aligner.align(profiles);
+  auto aligned = aligner.align(profiles, pool_);
   if (base.use_background_subtraction) radar::subtract_background(aligned, 0);
 
   std::vector<TagObservation> out;
@@ -157,7 +159,7 @@ std::vector<TagObservation> BiScatterNetwork::sense_all(bool downlink_active) {
     radar::TagDetectorConfig det_cfg;
     det_cfg.expected_mod_freq_hz = config_.tags[i].mod_freq_hz;
     const radar::TagDetector detector(det_cfg);
-    const auto det = detector.detect(aligned);
+    const auto det = detector.detect(aligned, pool_);
     TagObservation obs;
     obs.address = config_.tags[i].address;
     obs.detected = det.found;

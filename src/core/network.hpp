@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/link_simulator.hpp"
 #include "phy/bits.hpp"
 #include "radar/tag_detector.hpp"
@@ -68,6 +69,8 @@ class BiScatterNetwork {
  private:
   NetworkConfig config_;
   std::vector<std::unique_ptr<LinkSimulator>> links_;  ///< One per tag.
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< When base.dsp_threads > 1.
+  ThreadPool* pool_ = nullptr;              ///< Frame DSP pool (see SystemConfig).
 };
 
 /// Assign well-separated modulation frequencies to @p n tags below the

@@ -68,6 +68,11 @@ struct SystemConfig {
                                      ///< slots (ablation knob).
   bool use_background_subtraction = true;
   std::uint64_t seed = 1;
+  std::size_t dsp_threads = 0;       ///< Frame-level DSP concurrency: 0 =
+                                     ///< shared hardware-sized pool, 1 =
+                                     ///< strictly sequential, k = private
+                                     ///< k-lane pool. Results are
+                                     ///< bit-identical for every setting.
 
   /// Derive the CSSK alphabet for this radar+tag combination. Clamps the
   /// maximum beat frequency below the tag ADC Nyquist bound by raising the

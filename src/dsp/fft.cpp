@@ -1,12 +1,23 @@
 #include "dsp/fft.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/constants.hpp"
 
 namespace bis::dsp {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Uncached reference path. The plan cache below must reproduce these results
+// bit-for-bit: plan tables are generated with the identical twiddle
+// recurrence and applied in the identical loop order.
+// ---------------------------------------------------------------------------
 
 /// In-place radix-2 Cooley–Tukey. x.size() must be a power of two.
 void fft_radix2_inplace(CVec& x, bool inverse) {
@@ -37,30 +48,41 @@ void fft_radix2_inplace(CVec& x, bool inverse) {
   }
 }
 
-/// Bluestein chirp-z transform for arbitrary n, expressed via power-of-two
-/// convolution.
-CVec fft_bluestein(std::span<const cdouble> x, bool inverse) {
-  const std::size_t n = x.size();
+/// Bluestein chirp factors c[k] = exp(sign · jπ k² / n). Uses k² mod 2n to
+/// keep the argument small and the twiddles exact for large k.
+CVec bluestein_chirp(std::size_t n, bool inverse) {
   const double sign = inverse ? 1.0 : -1.0;
-
-  // Chirp factors c[k] = exp(sign * jπ k² / n). Use k² mod 2n to keep the
-  // argument small and the twiddles exact for large k.
   CVec chirp(n);
   for (std::size_t k = 0; k < n; ++k) {
     const std::uint64_t k2 = (static_cast<std::uint64_t>(k) * k) % (2 * n);
     const double angle = sign * kPi * static_cast<double>(k2) / static_cast<double>(n);
     chirp[k] = cdouble(std::cos(angle), std::sin(angle));
   }
+  return chirp;
+}
 
-  const std::size_t m = next_power_of_two(2 * n - 1);
-  CVec a(m, cdouble(0.0, 0.0));
+/// Zero-padded Bluestein convolution kernel b (length m) for @p chirp.
+CVec bluestein_kernel(std::span<const cdouble> chirp, std::size_t m) {
+  const std::size_t n = chirp.size();
   CVec b(m, cdouble(0.0, 0.0));
-  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
   for (std::size_t k = 0; k < n; ++k) {
     const cdouble c = std::conj(chirp[k]);
     b[k] = c;
     if (k != 0) b[m - k] = c;
   }
+  return b;
+}
+
+/// Bluestein chirp-z transform for arbitrary n, expressed via power-of-two
+/// convolution. Rebuilds everything per call (reference path).
+CVec fft_bluestein_uncached(std::span<const cdouble> x, bool inverse) {
+  const std::size_t n = x.size();
+  const CVec chirp = bluestein_chirp(n, inverse);
+
+  const std::size_t m = next_power_of_two(2 * n - 1);
+  CVec a(m, cdouble(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
+  CVec b = bluestein_kernel(chirp, m);
 
   fft_radix2_inplace(a, /*inverse=*/false);
   fft_radix2_inplace(b, /*inverse=*/false);
@@ -73,7 +95,7 @@ CVec fft_bluestein(std::span<const cdouble> x, bool inverse) {
   return out;
 }
 
-CVec transform(std::span<const cdouble> x, bool inverse) {
+CVec transform_uncached(std::span<const cdouble> x, bool inverse) {
   const std::size_t n = x.size();
   if (n == 0) return {};
   CVec out;
@@ -81,7 +103,282 @@ CVec transform(std::span<const cdouble> x, bool inverse) {
     out.assign(x.begin(), x.end());
     fft_radix2_inplace(out, inverse);
   } else {
-    out = fft_bluestein(x, inverse);
+    out = fft_bluestein_uncached(x, inverse);
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : out) v *= inv_n;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache. Plans execute on split real/imag (SoA) arrays: the butterfly
+// inner loops become clean, independent, vectorizable double loops instead of
+// a serial complex twiddle recurrence. Every expression mirrors the complex
+// arithmetic of the reference path term by term ((ac−bd, ad+bc) products,
+// identical accumulation order), so the results are bit-identical — only the
+// storage layout and the table reuse differ.
+// ---------------------------------------------------------------------------
+
+/// Everything size-dependent a transform of size n needs, computed once.
+struct FftPlan {
+  std::size_t n = 0;
+
+  // Power-of-two path: bit-reversal swap pairs (i < j) in reference order and
+  // per-stage SoA twiddle tables for stage length len = 4 << s, k in
+  // [0, len/2). The len == 2 stage multiplies by exactly (1, 0) in the
+  // reference, so it is executed multiplication-free and needs no table.
+  // Tables are built with the same w *= wlen recurrence as the reference.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> swaps;
+  std::vector<RVec> tw_re_fwd, tw_im_fwd;
+  std::vector<RVec> tw_re_inv, tw_im_inv;
+
+  // Bluestein path (n not a power of two): SoA chirp factors and the
+  // pre-transformed convolution kernel B = FFT(b) for both directions, plus
+  // the plan for the size-m power-of-two convolution transforms.
+  std::size_t m = 0;
+  RVec chirp_re_fwd, chirp_im_fwd, chirp_re_inv, chirp_im_inv;
+  RVec kernel_re_fwd, kernel_im_fwd, kernel_re_inv, kernel_im_inv;
+  std::shared_ptr<const FftPlan> conv_plan;
+};
+
+/// Apply a power-of-two plan in place on split re/im arrays.
+void fft_pow2_with_plan(double* __restrict xr, double* __restrict xi,
+                        const FftPlan& plan, bool inverse) {
+  const std::size_t n = plan.n;
+  if (n <= 1) return;
+  for (const auto& [i, j] : plan.swaps) {
+    std::swap(xr[i], xr[j]);
+    std::swap(xi[i], xi[j]);
+  }
+
+  // Stage len == 2: reference twiddle is exactly (1, 0), so v == x and the
+  // butterfly is a pure add/sub (bit-identical to multiplying by one).
+  for (std::size_t i = 0; i + 1 < n; i += 2) {
+    const double ur = xr[i], ui = xi[i];
+    const double vr = xr[i + 1], vi = xi[i + 1];
+    xr[i] = ur + vr;
+    xi[i] = ui + vi;
+    xr[i + 1] = ur - vr;
+    xi[i + 1] = ui - vi;
+  }
+
+  std::size_t s = 0;
+  for (std::size_t len = 4; len <= n; len <<= 1, ++s) {
+    const double* __restrict twr =
+        (inverse ? plan.tw_re_inv : plan.tw_re_fwd)[s].data();
+    const double* __restrict twi =
+        (inverse ? plan.tw_im_inv : plan.tw_im_fwd)[s].data();
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len) {
+      double* __restrict ar = xr + i;
+      double* __restrict ai = xi + i;
+      double* __restrict br = xr + i + half;
+      double* __restrict bi = xi + i + half;
+      for (std::size_t k = 0; k < half; ++k) {
+        const double vr = br[k] * twr[k] - bi[k] * twi[k];
+        const double vi = br[k] * twi[k] + bi[k] * twr[k];
+        const double ur = ar[k], ui = ai[k];
+        ar[k] = ur + vr;
+        ai[k] = ui + vi;
+        br[k] = ur - vr;
+        bi[k] = ui - vi;
+      }
+    }
+  }
+}
+
+std::shared_ptr<const FftPlan> make_pow2_plan(std::size_t n) {
+  auto plan = std::make_shared<FftPlan>();
+  plan->n = n;
+  if (n <= 1) return plan;
+
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j)
+      plan->swaps.emplace_back(static_cast<std::uint32_t>(i),
+                               static_cast<std::uint32_t>(j));
+  }
+
+  for (int dir = 0; dir < 2; ++dir) {
+    const bool inverse = dir == 1;
+    auto& stages_re = inverse ? plan->tw_re_inv : plan->tw_re_fwd;
+    auto& stages_im = inverse ? plan->tw_im_inv : plan->tw_im_fwd;
+    for (std::size_t len = 4; len <= n; len <<= 1) {
+      const double angle =
+          (inverse ? 1.0 : -1.0) * kTwoPi / static_cast<double>(len);
+      const cdouble wlen(std::cos(angle), std::sin(angle));
+      RVec tw_re(len / 2), tw_im(len / 2);
+      cdouble w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        tw_re[k] = w.real();
+        tw_im[k] = w.imag();
+        w *= wlen;
+      }
+      stages_re.push_back(std::move(tw_re));
+      stages_im.push_back(std::move(tw_im));
+    }
+  }
+  return plan;
+}
+
+/// Per-thread scratch for the split re/im working set, so repeated
+/// transforms do no allocation beyond the output vector (the Bluestein path
+/// used to allocate three size-m vectors per call).
+struct FftScratch {
+  RVec re, im;
+  void ensure(std::size_t n) {
+    if (re.size() < n) {
+      re.resize(n);
+      im.resize(n);
+    }
+  }
+};
+
+FftScratch& scratch() {
+  thread_local FftScratch s;
+  return s;
+}
+
+class PlanCache {
+ public:
+  std::shared_ptr<const FftPlan> get(std::size_t n) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = plans_.find(n);
+      if (it != plans_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    auto plan = build(n);
+    std::lock_guard<std::mutex> lock(mu_);
+    // A concurrent builder may have raced us; keep the first one inserted so
+    // every caller shares one table set.
+    return plans_.emplace(n, std::move(plan)).first->second;
+  }
+
+  FftPlanCacheStats stats() {
+    FftPlanCacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    s.plans = plans_.size();
+    return s;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    plans_.clear();
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<const FftPlan> build(std::size_t n) {
+    if (is_power_of_two(n)) return make_pow2_plan(n);
+
+    auto plan = std::make_shared<FftPlan>();
+    plan->n = n;
+    plan->m = next_power_of_two(2 * n - 1);
+    plan->conv_plan = get(plan->m);  // recursion depth 1: m is a power of two
+
+    const auto split = [](const CVec& v, RVec& re, RVec& im) {
+      re.resize(v.size());
+      im.resize(v.size());
+      for (std::size_t k = 0; k < v.size(); ++k) {
+        re[k] = v[k].real();
+        im[k] = v[k].imag();
+      }
+    };
+    for (int dir = 0; dir < 2; ++dir) {
+      const bool inverse = dir == 1;
+      const CVec chirp = bluestein_chirp(n, inverse);
+      const CVec kernel = bluestein_kernel(chirp, plan->m);
+      split(chirp, inverse ? plan->chirp_re_inv : plan->chirp_re_fwd,
+            inverse ? plan->chirp_im_inv : plan->chirp_im_fwd);
+      RVec& kre = inverse ? plan->kernel_re_inv : plan->kernel_re_fwd;
+      RVec& kim = inverse ? plan->kernel_im_inv : plan->kernel_im_fwd;
+      split(kernel, kre, kim);
+      // Pre-transform B = FFT(b) once; per call this replaces a whole
+      // size-m forward FFT with a pointwise multiply.
+      fft_pow2_with_plan(kre.data(), kim.data(), *plan->conv_plan,
+                         /*inverse=*/false);
+    }
+    return plan;
+  }
+
+  std::mutex mu_;
+  std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>> plans_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+PlanCache& plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+CVec fft_bluestein_with_plan(std::span<const cdouble> x, const FftPlan& plan,
+                             bool inverse) {
+  const std::size_t n = plan.n;
+  const std::size_t m = plan.m;
+  const RVec& cr = inverse ? plan.chirp_re_inv : plan.chirp_re_fwd;
+  const RVec& ci = inverse ? plan.chirp_im_inv : plan.chirp_im_fwd;
+  const RVec& kr = inverse ? plan.kernel_re_inv : plan.kernel_re_fwd;
+  const RVec& ki = inverse ? plan.kernel_im_inv : plan.kernel_im_fwd;
+
+  FftScratch& sc = scratch();
+  sc.ensure(m);
+  double* __restrict ar = sc.re.data();
+  double* __restrict ai = sc.im.data();
+  for (std::size_t k = 0; k < n; ++k) {  // a[k] = x[k] · chirp[k]
+    const double xr = x[k].real(), xi = x[k].imag();
+    ar[k] = xr * cr[k] - xi * ci[k];
+    ai[k] = xr * ci[k] + xi * cr[k];
+  }
+  for (std::size_t k = n; k < m; ++k) ar[k] = ai[k] = 0.0;
+
+  fft_pow2_with_plan(ar, ai, *plan.conv_plan, /*inverse=*/false);
+  for (std::size_t k = 0; k < m; ++k) {  // a[k] *= B[k]
+    const double re = ar[k] * kr[k] - ai[k] * ki[k];
+    const double im = ar[k] * ki[k] + ai[k] * kr[k];
+    ar[k] = re;
+    ai[k] = im;
+  }
+  fft_pow2_with_plan(ar, ai, *plan.conv_plan, /*inverse=*/true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+
+  CVec out(n);
+  for (std::size_t k = 0; k < n; ++k) {  // out[k] = (a[k]·inv_m)·chirp[k]
+    const double sr = ar[k] * inv_m, si = ai[k] * inv_m;
+    out[k] = cdouble(sr * cr[k] - si * ci[k], sr * ci[k] + si * cr[k]);
+  }
+  return out;
+}
+
+CVec transform(std::span<const cdouble> x, bool inverse) {
+  const std::size_t n = x.size();
+  if (n == 0) return {};
+  const auto plan = plan_cache().get(n);
+  CVec out(n);
+  if (is_power_of_two(n)) {
+    FftScratch& sc = scratch();
+    sc.ensure(n);
+    double* __restrict xr = sc.re.data();
+    double* __restrict xi = sc.im.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      xr[i] = x[i].real();
+      xi[i] = x[i].imag();
+    }
+    fft_pow2_with_plan(xr, xi, *plan, inverse);
+    for (std::size_t i = 0; i < n; ++i) out[i] = cdouble(xr[i], xi[i]);
+  } else {
+    out = fft_bluestein_with_plan(x, *plan, inverse);
   }
   if (inverse) {
     const double inv_n = 1.0 / static_cast<double>(n);
@@ -103,6 +400,18 @@ std::size_t next_power_of_two(std::size_t n) {
 CVec fft(std::span<const cdouble> x) { return transform(x, /*inverse=*/false); }
 
 CVec ifft(std::span<const cdouble> x) { return transform(x, /*inverse=*/true); }
+
+CVec fft_uncached(std::span<const cdouble> x) {
+  return transform_uncached(x, /*inverse=*/false);
+}
+
+CVec ifft_uncached(std::span<const cdouble> x) {
+  return transform_uncached(x, /*inverse=*/true);
+}
+
+FftPlanCacheStats fft_plan_cache_stats() { return plan_cache().stats(); }
+
+void fft_plan_cache_clear() { plan_cache().clear(); }
 
 CVec fft_real(std::span<const double> x) {
   CVec cx(x.size());

@@ -6,9 +6,21 @@
 /// radar pipeline can transform chirps whose sample counts vary with CSSK
 /// chirp duration without zero-padding surprises.
 ///
+/// Every transform runs through a process-wide plan cache: per size we
+/// memoize the bit-reversal permutation, the per-stage twiddle tables and —
+/// for Bluestein sizes — the chirp factors plus the pre-transformed
+/// convolution kernel B = FFT(b). CSSK uses only a handful of distinct chirp
+/// lengths per alphabet, so after the first frame the hit rate is ~100% and
+/// a transform does no table building and no kernel FFTs. Plan twiddles are
+/// generated with the same incremental recurrence as the uncached reference
+/// path, so cached and uncached outputs are bit-identical. The cache is
+/// thread-safe; the transforms themselves are pure and safe to call
+/// concurrently (the DSP engine fans them across a ThreadPool).
+///
 /// Convention: forward transform X[k] = Σ_n x[n]·exp(-j2πkn/N), no scaling;
 /// the inverse applies the 1/N factor.
 
+#include <cstdint>
 #include <span>
 
 #include "dsp/types.hpp"
@@ -33,6 +45,24 @@ CVec fft_real(std::span<const double> x);
 /// Forward FFT zero-padded (or truncated) to @p n_fft points.
 CVec fft_padded(std::span<const cdouble> x, std::size_t n_fft);
 CVec fft_real_padded(std::span<const double> x, std::size_t n_fft);
+
+/// Reference transforms that rebuild every table on each call — the
+/// pre-plan-cache implementation, kept for parity tests and benchmarks.
+/// fft()/ifft() must agree with these bit-for-bit.
+CVec fft_uncached(std::span<const cdouble> x);
+CVec ifft_uncached(std::span<const cdouble> x);
+
+/// Plan-cache observability (hits/misses are cumulative transform counts;
+/// plans is the number of distinct sizes currently cached).
+struct FftPlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t plans = 0;
+};
+FftPlanCacheStats fft_plan_cache_stats();
+
+/// Drop all cached plans and reset the stats (tests/benchmarks).
+void fft_plan_cache_clear();
 
 /// Frequency of FFT bin @p k for sample rate @p fs and size @p n,
 /// mapped to [-fs/2, fs/2).

@@ -1,6 +1,9 @@
 #include "dsp/window.hpp"
 
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <tuple>
 
 #include "common/check.hpp"
 #include "common/constants.hpp"
@@ -60,6 +63,53 @@ std::vector<double> make_window(WindowType type, std::size_t n, double kaiser_be
     }
   }
   return w;
+}
+
+namespace {
+
+/// (type, n, beta) → window. Kaiser is the only type that reads beta, but
+/// keying on it unconditionally keeps the lookup branch-free and correct.
+using WindowKey = std::tuple<int, std::size_t, double>;
+
+struct WindowCache {
+  std::mutex mu;
+  std::map<WindowKey, WindowPtr> windows;
+};
+
+WindowCache& window_cache() {
+  static WindowCache cache;
+  return cache;
+}
+
+}  // namespace
+
+WindowPtr cached_window(WindowType type, std::size_t n, double kaiser_beta) {
+  const WindowKey key{static_cast<int>(type), n,
+                      type == WindowType::kKaiser ? kaiser_beta : 0.0};
+  auto& cache = window_cache();
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto it = cache.windows.find(key);
+    if (it != cache.windows.end()) return it->second;
+  }
+  // Build outside the lock; a racing builder computes identical values, and
+  // the first insert wins so all callers converge on one copy.
+  auto w = std::make_shared<const std::vector<double>>(
+      make_window(type, n, kaiser_beta));
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.windows.emplace(key, std::move(w)).first->second;
+}
+
+std::size_t window_cache_size() {
+  auto& cache = window_cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.windows.size();
+}
+
+void window_cache_clear() {
+  auto& cache = window_cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.windows.clear();
 }
 
 std::vector<double> apply_window(std::span<const double> x, std::span<const double> w) {

@@ -7,6 +7,7 @@
 /// (paper §3.2.2, Fig. 6).
 
 #include <complex>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -23,6 +24,22 @@ enum class WindowType {
 
 /// Generate an n-point window. @p kaiser_beta is only used for Kaiser.
 std::vector<double> make_window(WindowType type, std::size_t n, double kaiser_beta = 8.6);
+
+/// Shared immutable window handle returned by the cache.
+using WindowPtr = std::shared_ptr<const std::vector<double>>;
+
+/// Memoized make_window keyed by (type, n, kaiser_beta). The radar pipeline
+/// windows every chirp and every slow-time column with one of a handful of
+/// distinct lengths per frame, so the per-call cos/Bessel evaluation is pure
+/// waste after the first hit. Thread-safe; the returned vector is immutable
+/// and safe to share across the DSP thread pool.
+WindowPtr cached_window(WindowType type, std::size_t n, double kaiser_beta = 8.6);
+
+/// Number of distinct windows currently cached (tests/benchmarks).
+std::size_t window_cache_size();
+
+/// Drop all cached windows (tests/benchmarks).
+void window_cache_clear();
 
 /// Multiply a signal by a window of the same length (returns a copy).
 std::vector<double> apply_window(std::span<const double> x, std::span<const double> w);

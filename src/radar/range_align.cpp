@@ -24,7 +24,8 @@ dsp::CVec AlignedProfiles::column(std::size_t bin) const {
 
 RangeAligner::RangeAligner(const RangeAlignConfig& config) : config_(config) {}
 
-AlignedProfiles RangeAligner::align(std::span<const RangeProfile> profiles) const {
+AlignedProfiles RangeAligner::align(std::span<const RangeProfile> profiles,
+                                    ThreadPool* pool) const {
   BIS_CHECK(!profiles.empty());
   AlignedProfiles out;
   out.chirp_period_s = profiles.front().chirp.period();
@@ -34,12 +35,14 @@ AlignedProfiles RangeAligner::align(std::span<const RangeProfile> profiles) cons
     // stack raw bins. The "range grid" is only nominally meaningful (taken
     // from the first chirp) — exactly the ambiguity the paper illustrates.
     const std::size_t n = profiles.front().bins.size();
-    for (const auto& p : profiles) {
+    out.rows.resize(profiles.size());
+    bis::parallel_for(pool, 0, profiles.size(), [&](std::size_t i) {
+      const auto& p = profiles[i];
       dsp::CVec row(n, dsp::cdouble(0.0, 0.0));
       const std::size_t m = std::min(n, p.bins.size());
       std::copy(p.bins.begin(), p.bins.begin() + static_cast<long>(m), row.begin());
-      out.rows.push_back(std::move(row));
-    }
+      out.rows[i] = std::move(row);
+    });
     out.range_grid = profiles.front().range_axis();
     out.range_grid.resize(n);
     return out;
@@ -60,11 +63,12 @@ AlignedProfiles RangeAligner::align(std::span<const RangeProfile> profiles) cons
   BIS_CHECK(n_grid >= 2);
 
   out.range_grid = dsp::linspace(0.0, r_max, n_grid);
-  out.rows.reserve(profiles.size());
-  for (const auto& p : profiles) {
+  out.rows.resize(profiles.size());
+  bis::parallel_for(pool, 0, profiles.size(), [&](std::size_t i) {
+    const auto& p = profiles[i];
     const auto axis = p.range_axis();
-    out.rows.push_back(dsp::regrid_linear(axis, p.bins, out.range_grid));
-  }
+    out.rows[i] = dsp::regrid_linear(axis, p.bins, out.range_grid);
+  });
   return out;
 }
 

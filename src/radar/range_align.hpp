@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "radar/range_processor.hpp"
 
 namespace bis::radar {
@@ -45,8 +46,11 @@ class RangeAligner {
  public:
   explicit RangeAligner(const RangeAlignConfig& config);
 
-  /// Align a frame's per-chirp profiles onto a common range grid.
-  AlignedProfiles align(std::span<const RangeProfile> profiles) const;
+  /// Align a frame's per-chirp profiles onto a common range grid. The
+  /// per-profile resampling is a pure map fanned across @p pool (nullptr =
+  /// inline); output is bit-identical for any thread count.
+  AlignedProfiles align(std::span<const RangeProfile> profiles,
+                        ThreadPool* pool = nullptr) const;
 
   const RangeAlignConfig& config() const { return config_; }
 

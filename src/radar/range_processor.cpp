@@ -34,20 +34,34 @@ RangeProfile RangeProcessor::process(std::span<const dsp::cdouble> if_samples,
                                      double sample_rate_hz) const {
   BIS_CHECK(!if_samples.empty());
   BIS_CHECK(sample_rate_hz > 0.0);
-  const auto w = dsp::make_window(config_.window, if_samples.size());
-  const auto xw = dsp::apply_window(if_samples, w);
+  // CSSK frames reuse a handful of chirp lengths, so the window and the FFT
+  // plan for this size are cache hits on every chirp after the first.
+  const auto w = dsp::cached_window(config_.window, if_samples.size());
+  const auto xw = dsp::apply_window(if_samples, *w);
   const std::size_t n_fft =
       dsp::next_power_of_two(if_samples.size()) * config_.zero_pad_factor;
   RangeProfile profile;
   profile.bins = dsp::fft_padded(xw, n_fft);
   // Normalize by the window sum so tone amplitude is comparable across
   // chirps with different sample counts (different CSSK durations).
-  const double norm = dsp::window_sum(w);
+  const double norm = dsp::window_sum(*w);
   for (auto& b : profile.bins) b /= norm;
   profile.chirp = chirp;
   profile.sample_rate_hz = sample_rate_hz;
   profile.n_fft = n_fft;
   return profile;
+}
+
+std::vector<RangeProfile> RangeProcessor::process_frame(
+    std::span<const dsp::CVec> chirp_samples,
+    std::span<const rf::ChirpParams> chirps, double sample_rate_hz,
+    ThreadPool* pool) const {
+  BIS_CHECK(chirp_samples.size() == chirps.size());
+  std::vector<RangeProfile> profiles(chirp_samples.size());
+  bis::parallel_for(pool, 0, chirp_samples.size(), [&](std::size_t i) {
+    profiles[i] = process(chirp_samples[i], chirps[i], sample_rate_hz);
+  });
+  return profiles;
 }
 
 }  // namespace bis::radar

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "dsp/types.hpp"
 #include "dsp/window.hpp"
 #include "rf/chirp.hpp"
@@ -46,6 +47,15 @@ class RangeProcessor {
   /// FFT one chirp's IF samples into a range profile.
   RangeProfile process(std::span<const dsp::cdouble> if_samples,
                        const rf::ChirpParams& chirp, double sample_rate_hz) const;
+
+  /// Batched frame processing: range-FFT every chirp of a frame, fanning the
+  /// per-chirp transforms across @p pool (nullptr = inline). Each chirp is an
+  /// independent pure map into its own output slot, so the result is
+  /// bit-identical to calling process() sequentially, for any thread count.
+  std::vector<RangeProfile> process_frame(
+      std::span<const dsp::CVec> chirp_samples,
+      std::span<const rf::ChirpParams> chirps, double sample_rate_hz,
+      ThreadPool* pool = nullptr) const;
 
   const RangeProcessorConfig& config() const { return config_; }
 

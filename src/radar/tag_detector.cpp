@@ -33,8 +33,8 @@ dsp::RVec TagDetector::slow_time_spectrum(const AlignedProfiles& profiles,
   // Static clutter residue is DC in slow time; remove the mean before the
   // FFT so the modulation tone dominates.
   const auto centred = dsp::remove_dc(series);
-  const auto w = dsp::make_window(dsp::WindowType::kHann, centred.size());
-  const auto xw = dsp::apply_window(centred, w);
+  const auto w = dsp::cached_window(dsp::WindowType::kHann, centred.size());
+  const auto xw = dsp::apply_window(centred, *w);
   const std::size_t n_fft =
       dsp::next_power_of_two(centred.size()) * config_.slow_time_pad_factor;
   const auto spec = dsp::fft_real_padded(xw, n_fft);
@@ -45,7 +45,8 @@ dsp::RVec TagDetector::slow_time_spectrum(const AlignedProfiles& profiles,
 
 TagDetector::BinScores TagDetector::score_block(const AlignedProfiles& profiles,
                                                 std::size_t first,
-                                                std::size_t count) const {
+                                                std::size_t count,
+                                                ThreadPool* pool) const {
   const double slow_fs = 1.0 / profiles.chirp_period_s;
   const std::size_t n_fft =
       dsp::next_power_of_two(count) * config_.slow_time_pad_factor;
@@ -78,8 +79,10 @@ TagDetector::BinScores TagDetector::score_block(const AlignedProfiles& profiles,
   out.metric.assign(profiles.n_bins(), 0.0);
   out.tone_power.assign(profiles.n_bins(), 0.0);
   out.score.assign(profiles.n_bins(), 0.0);
-  for (std::size_t b = 0; b < profiles.n_bins(); ++b) {
-    if (profiles.range_grid[b] < config_.min_range_m) continue;
+  // Each bin's slow-time FFT and scoring is independent and writes only its
+  // own slots — a pure map, bit-identical for any thread count.
+  bis::parallel_for(pool, 0, profiles.n_bins(), [&](std::size_t b) {
+    if (profiles.range_grid[b] < config_.min_range_m) return;
     const auto spectrum = slow_time_spectrum(profiles, b, first, count);
     const double floor = std::max(
         bis::median(std::span<const double>(spectrum.data() + 1,
@@ -99,11 +102,12 @@ TagDetector::BinScores TagDetector::score_block(const AlignedProfiles& profiles,
       if (p < config_.min_tone_prominence * floor) continue;
       out.metric[b] = std::max(out.metric[b], p * s);
     }
-  }
+  });
   return out;
 }
 
-TagDetection TagDetector::detect(const AlignedProfiles& profiles) const {
+TagDetection TagDetector::detect(const AlignedProfiles& profiles,
+                                 ThreadPool* pool) const {
   TagDetection det;
   if (profiles.n_chirps() < 8 || profiles.n_bins() < 4) return det;
 
@@ -118,7 +122,7 @@ TagDetection TagDetector::detect(const AlignedProfiles& profiles) const {
   dsp::RVec tone_power(profiles.n_bins(), 0.0);
   dsp::RVec score(profiles.n_bins(), 0.0);
   for (std::size_t blk = 0; blk < n_blocks; ++blk) {
-    const auto s = score_block(profiles, blk * block, block);
+    const auto s = score_block(profiles, blk * block, block, pool);
     const double peak = *std::max_element(s.metric.begin(), s.metric.end());
     const double norm = peak > 0.0 ? 1.0 / peak : 0.0;
     for (std::size_t b = 0; b < profiles.n_bins(); ++b) {

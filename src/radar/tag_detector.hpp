@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "dsp/types.hpp"
 #include "radar/range_align.hpp"
 
@@ -58,8 +59,12 @@ class TagDetector {
   explicit TagDetector(const TagDetectorConfig& config);
 
   /// Detect and localize the tag in an aligned (and typically
-  /// background-subtracted) frame.
-  TagDetection detect(const AlignedProfiles& profiles) const;
+  /// background-subtracted) frame. The per-range-bin slow-time FFT scoring —
+  /// the hottest loop of the radar side — fans across @p pool (nullptr =
+  /// inline); each bin writes only its own score slots, so the detection is
+  /// bit-identical for any thread count.
+  TagDetection detect(const AlignedProfiles& profiles,
+                      ThreadPool* pool = nullptr) const;
 
   /// Slow-time one-sided power spectrum of one grid bin (mean-removed,
   /// Hann-windowed, zero-padded) over chirps [first, first+count); count=0
@@ -77,7 +82,7 @@ class TagDetector {
   };
   /// Per-bin scores over one slow-time block.
   BinScores score_block(const AlignedProfiles& profiles, std::size_t first,
-                        std::size_t count) const;
+                        std::size_t count, ThreadPool* pool) const;
 
   TagDetectorConfig config_;
 };

@@ -117,6 +117,68 @@ TEST(Fft, PowerOfTwoHelpers) {
   EXPECT_EQ(next_power_of_two(65), 128u);
 }
 
+// --- Plan cache parity -------------------------------------------------------
+// The plan-cached transforms must reproduce the uncached reference
+// *bit-for-bit*: plan twiddles are generated with the same incremental
+// recurrence the reference loop uses, and the butterfly order is identical.
+
+class FftPlanParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftPlanParity, CachedForwardMatchesUncachedBitExact) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 400 + n);
+  const auto cold = fft(x);       // may build the plan
+  const auto warm = fft(x);       // guaranteed cache hit
+  const auto ref = fft_uncached(x);
+  ASSERT_EQ(warm.size(), ref.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(warm[k].real(), ref[k].real()) << "bin " << k << " size " << n;
+    EXPECT_EQ(warm[k].imag(), ref[k].imag()) << "bin " << k << " size " << n;
+    EXPECT_EQ(cold[k], warm[k]) << "cold/warm divergence, bin " << k;
+  }
+}
+
+TEST_P(FftPlanParity, CachedInverseMatchesUncachedBitExact) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 500 + n);
+  const auto cached = ifft(x);
+  const auto ref = ifft_uncached(x);
+  ASSERT_EQ(cached.size(), ref.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(cached[k].real(), ref[k].real()) << "bin " << k << " size " << n;
+    EXPECT_EQ(cached[k].imag(), ref[k].imag()) << "bin " << k << " size " << n;
+  }
+}
+
+// Power-of-two (radix-2 plan) and composite/prime (Bluestein plan, including
+// the CSSK-typical ~hundred-sample chirp lengths).
+INSTANTIATE_TEST_SUITE_P(RadixAndBluestein, FftPlanParity,
+                         ::testing::Values(2, 8, 64, 256, 1024, 3, 12, 60, 97,
+                                           100, 120, 193, 240));
+
+TEST(FftPlanCache, RepeatedSizesHitTheCache) {
+  fft_plan_cache_clear();
+  const auto x = random_signal(120, 7);  // Bluestein size: plans 120 and 256
+  (void)fft(x);
+  const auto after_first = fft_plan_cache_stats();
+  EXPECT_GE(after_first.misses, 1u);
+  EXPECT_EQ(after_first.plans, 2u);  // n=120 plus its size-256 convolution plan
+  for (int i = 0; i < 5; ++i) (void)fft(x);
+  const auto after = fft_plan_cache_stats();
+  EXPECT_EQ(after.misses, after_first.misses);  // no rebuilds
+  EXPECT_GE(after.hits, 5u);
+  EXPECT_EQ(after.plans, 2u);
+}
+
+TEST(FftPlanCache, ClearResetsStatsAndPlans) {
+  (void)fft(random_signal(64, 8));
+  fft_plan_cache_clear();
+  const auto stats = fft_plan_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.plans, 0u);
+}
+
 TEST(Fft, BinFrequencyMapping) {
   // 8 bins at fs=800: unsigned mapping 0,100,...,700; signed wraps at 400.
   EXPECT_DOUBLE_EQ(fft_bin_frequency_unsigned(0, 8, 800.0), 0.0);

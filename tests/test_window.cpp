@@ -106,5 +106,33 @@ TEST(Window, SizeMismatchThrows) {
   EXPECT_THROW(apply_window(x, w), std::invalid_argument);
 }
 
+TEST(WindowCache, CachedMatchesMakeWindowAndDeduplicates) {
+  window_cache_clear();
+  const WindowType types[] = {WindowType::kRectangular, WindowType::kHann,
+                              WindowType::kHamming, WindowType::kBlackman,
+                              WindowType::kBlackmanHarris, WindowType::kKaiser};
+  for (WindowType type : types) {
+    for (std::size_t n : {1u, 7u, 64u, 120u}) {
+      const auto cached = cached_window(type, n);
+      ASSERT_EQ(*cached, make_window(type, n)) << window_name(type) << " n=" << n;
+      // Second lookup must return the same shared vector, not a rebuild.
+      EXPECT_EQ(cached.get(), cached_window(type, n).get());
+    }
+  }
+  EXPECT_EQ(window_cache_size(), 6u * 4u);
+}
+
+TEST(WindowCache, KaiserKeyedByBeta) {
+  window_cache_clear();
+  const auto a = cached_window(WindowType::kKaiser, 32, 6.0);
+  const auto b = cached_window(WindowType::kKaiser, 32, 9.0);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(*a, make_window(WindowType::kKaiser, 32, 6.0));
+  EXPECT_EQ(*b, make_window(WindowType::kKaiser, 32, 9.0));
+  // Non-Kaiser windows ignore beta — same cache entry either way.
+  EXPECT_EQ(cached_window(WindowType::kHann, 32, 6.0).get(),
+            cached_window(WindowType::kHann, 32, 9.0).get());
+}
+
 }  // namespace
 }  // namespace bis::dsp
