@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/constants.hpp"
@@ -22,6 +23,7 @@
 #include "dsp/goertzel.hpp"
 #include "dsp/tone_fit.hpp"
 #include "dsp/window.hpp"
+#include "obs/telemetry.hpp"
 #include "radar/range_align.hpp"
 #include "radar/range_processor.hpp"
 #include "radar/tag_detector.hpp"
@@ -226,8 +228,14 @@ void write_bench_json(const std::string& path) {
 
   const auto reference =
       run_pipeline(frame, proc, aligner, detector, nullptr);
+  // Thread-scaling rows are only meaningful when the host actually has that
+  // many cores: on an undersized machine (e.g. a 1-core CI runner) the extra
+  // lanes just time-slice one core and the "speedup" column reads as a
+  // slowdown. Record the real core count and flag oversubscribed rows.
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
   const std::vector<std::size_t> thread_counts = {1, 2, 4};
   std::vector<double> frame_ms;
+  std::vector<bool> row_valid;
   bool parity_ok = true;
   for (std::size_t nt : thread_counts) {
     ThreadPool pool(nt);
@@ -238,11 +246,29 @@ void write_bench_json(const std::string& path) {
         [&] { benchmark::DoNotOptimize(run_pipeline(frame, proc, aligner, detector, p)); },
         5);
     frame_ms.push_back(us / 1e3);
-    std::printf("frame 64 chirps, %zu thread(s): %8.2f ms  (speedup %.2fx)\n",
-                nt, frame_ms.back(), frame_ms.front() / frame_ms.back());
+    row_valid.push_back(hardware_threads >= nt);
+    std::printf("frame 64 chirps, %zu thread(s): %8.2f ms  (speedup %.2fx)%s\n",
+                nt, frame_ms.back(), frame_ms.front() / frame_ms.back(),
+                row_valid.back() ? "" : "  [invalid: oversubscribed]");
   }
   std::printf("parallel output bit-identical to sequential: %s\n",
               parity_ok ? "yes" : "NO");
+
+  // Telemetry overhead guardrail: the same sequential frame with the obs
+  // subsystem off vs on. Off must be indistinguishable from the seed (<2%).
+  const bool telemetry_was_on = obs::enabled();
+  obs::set_enabled(false);
+  const double frame_ms_off = time_us(
+      [&] { benchmark::DoNotOptimize(run_pipeline(frame, proc, aligner, detector, nullptr)); },
+      5) / 1e3;
+  obs::set_enabled(true);
+  const double frame_ms_on = time_us(
+      [&] { benchmark::DoNotOptimize(run_pipeline(frame, proc, aligner, detector, nullptr)); },
+      5) / 1e3;
+  obs::set_enabled(telemetry_was_on);
+  const double overhead_frac = frame_ms_on / frame_ms_off - 1.0;
+  std::printf("telemetry overhead: off %.2f ms  on %.2f ms  (%+.1f%%)\n",
+              frame_ms_off, frame_ms_on, 100.0 * overhead_frac);
 
   const auto stats = dsp::fft_plan_cache_stats();
 
@@ -263,19 +289,21 @@ void write_bench_json(const std::string& path) {
       << "},\n";
   out << "  \"frame_pipeline\": {\n";
   out << "    \"chirps\": 64,\n";
-  out << "    \"threads\": [";
-  for (std::size_t i = 0; i < thread_counts.size(); ++i)
-    out << thread_counts[i] << (i + 1 < thread_counts.size() ? ", " : "");
-  out << "],\n";
-  out << "    \"frame_ms\": [";
-  for (std::size_t i = 0; i < frame_ms.size(); ++i)
-    out << frame_ms[i] << (i + 1 < frame_ms.size() ? ", " : "");
-  out << "],\n";
-  out << "    \"speedup\": [";
-  for (std::size_t i = 0; i < frame_ms.size(); ++i)
-    out << frame_ms.front() / frame_ms[i] << (i + 1 < frame_ms.size() ? ", " : "");
-  out << "],\n";
+  out << "    \"scaling\": [\n";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    out << "      {\"threads\": " << thread_counts[i]
+        << ", \"frame_ms\": " << frame_ms[i]
+        << ", \"speedup\": " << frame_ms.front() / frame_ms[i]
+        << ", \"valid\": " << (row_valid[i] ? "true" : "false") << "}"
+        << (i + 1 < thread_counts.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n";
   out << "    \"parity_bit_identical\": " << (parity_ok ? "true" : "false") << "\n";
+  out << "  },\n";
+  out << "  \"telemetry_overhead\": {\n";
+  out << "    \"frame_ms_off\": " << frame_ms_off << ",\n";
+  out << "    \"frame_ms_on\": " << frame_ms_on << ",\n";
+  out << "    \"overhead_frac\": " << overhead_frac << "\n";
   out << "  }\n";
   out << "}\n";
 }

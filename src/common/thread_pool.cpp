@@ -2,13 +2,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bis {
 namespace {
+
+std::uint64_t pool_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Set while a pool worker (or a caller draining a parallel_for) is inside
 /// user code, so nested parallel_for calls degrade to inline execution
@@ -92,6 +102,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     return;
   }
 
+  BIS_TRACE_SPAN("pool.parallel_for");
   auto state = std::make_shared<ForState>();
   state->next.store(begin);
   state->end = end;
@@ -100,15 +111,35 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // bins near clutter cost more); floor of 1 keeps tiny loops correct.
   state->grain = std::max<std::size_t>(1, n / (4 * size()));
 
+  // Telemetry: queue depth at enqueue, plus per-task dispatch latency
+  // (enqueue → a worker starts draining). Latched once per parallel_for so
+  // the disabled cost stays one relaxed load.
+  const bool telemetry = obs::enabled();
+  const std::uint64_t enqueue_ns = telemetry ? pool_now_ns() : 0;
+
   const std::size_t n_tasks = std::min(workers_.size(), n - 1);
   state->pending.store(n_tasks);
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t t = 0; t < n_tasks; ++t)
-      tasks_.emplace_back([state] {
+      tasks_.emplace_back([state, telemetry, enqueue_ns] {
+        if (telemetry) {
+          static obs::Histogram& latency = obs::Registry::instance().histogram(
+              "bis.pool.task_latency_us",
+              obs::Histogram::exponential_bounds(1.0, 1e6, 25));
+          static obs::Counter& executed =
+              obs::Registry::instance().counter("bis.pool.tasks_executed");
+          latency.observe(static_cast<double>(pool_now_ns() - enqueue_ns) / 1e3);
+          executed.add();
+        }
         state->drain();
         state->finish_one();
       });
+    if (telemetry) {
+      static obs::Gauge& depth =
+          obs::Registry::instance().gauge("bis.pool.queue_depth");
+      depth.set(static_cast<double>(tasks_.size()));
+    }
   }
   work_cv_.notify_all();
 

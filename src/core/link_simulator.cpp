@@ -6,6 +6,10 @@
 #include "common/check.hpp"
 #include "common/constants.hpp"
 #include "common/units.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/window.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace bis::core {
 namespace {
@@ -39,6 +43,15 @@ LinkSimulator::LinkSimulator(const SystemConfig& config)
       range_processor_(radar::RangeProcessorConfig{}),
       aligner_(radar::RangeAlignConfig{}),
       pool_(resolve_dsp_pool(config.dsp_threads, owned_pool_)) {
+  // Telemetry: the toggle is process-wide (it gates spans/metrics inside
+  // dsp/radar/tag code that has no SystemConfig), so an opted-in simulator
+  // latches it on for everyone. The per-run report below stays per-instance.
+  if (config_.telemetry) obs::set_enabled(true);
+  report_.config = config_key(config_);
+  const auto fft_stats = dsp::fft_plan_cache_stats();
+  fft_hits_baseline_ = fft_stats.hits;
+  fft_misses_baseline_ = fft_stats.misses;
+
   // Scene: tag amplitude from the two-way retro link budget; clutter
   // objects at fixed positions with absolute (range-dependent) returns, so
   // moving the tag changes the tag-to-clutter dynamics realistically.
@@ -105,6 +118,7 @@ void LinkSimulator::calibrate_tag() {
 }
 
 DownlinkRunResult LinkSimulator::run_downlink(const phy::Bits& payload) {
+  BIS_TRACE_SPAN("core.run_downlink");
   const phy::DownlinkPacket packet(config_.packet, payload);
   const auto frame = packet.to_frame(alphabet_);
   const auto paths = incident_paths(config_.tag_range_m);
@@ -114,10 +128,18 @@ DownlinkRunResult LinkSimulator::run_downlink(const phy::Bits& payload) {
   const std::vector<rf::ChirpParams>& chirps = frame.chirps();
   std::unique_ptr<bool[]> flags(new bool[frame.size()]);
   std::fill_n(flags.get(), frame.size(), true);
-  const dsp::RVec stream = tag_.frontend().receive_frame(
-      chirps, paths, std::span<const bool>(flags.get(), frame.size()));
+  dsp::RVec stream;
+  {
+    obs::StageTimer timer(report_.stage.tag_frontend_s);
+    stream = tag_.frontend().receive_frame(
+        chirps, paths, std::span<const bool>(flags.get(), frame.size()));
+  }
 
-  auto reception = tag_.receive_downlink(stream, config_.packet);
+  tag::TagNode::DownlinkReception reception;
+  {
+    obs::StageTimer timer(report_.stage.tag_decode_s);
+    reception = tag_.receive_downlink(stream, config_.packet);
+  }
 
   DownlinkRunResult result;
   result.decode = std::move(reception.decode);
@@ -130,13 +152,24 @@ DownlinkRunResult LinkSimulator::run_downlink(const phy::Bits& payload) {
   result.bits_compared = sent.size();
   if (!result.locked) {
     result.bit_errors = sent.size();
-    return result;
+  } else {
+    const auto& rx = result.decode.bits;
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      if (i >= rx.size() || rx[i] != sent[i]) ++result.bit_errors;
+    }
   }
-  const auto& rx = result.decode.bits;
-  for (std::size_t i = 0; i < sent.size(); ++i) {
-    if (i >= rx.size() || rx[i] != sent[i]) ++result.bit_errors;
-  }
+  ++report_.downlink_frames;
+  record_downlink(result);
   return result;
+}
+
+void LinkSimulator::record_downlink(const DownlinkRunResult& result) {
+  ++report_.sync_attempts;
+  ++report_.crc_attempts;
+  if (result.locked) ++report_.sync_locks;
+  if (result.crc_ok) ++report_.crc_passes;
+  report_.downlink_bits += result.bits_compared;
+  report_.downlink_bit_errors += result.bit_errors;
 }
 
 std::vector<radar::IfReturn> LinkSimulator::chirp_returns(
@@ -156,7 +189,11 @@ std::vector<radar::IfReturn> LinkSimulator::chirp_returns(
 UplinkRunResult LinkSimulator::process_uplink_frame(
     const std::vector<rf::ChirpParams>& chirps, const std::vector<int>& tag_states,
     const phy::Bits& sent_bits, bool downlink_active) {
+  BIS_TRACE_SPAN("core.uplink_frame");
   BIS_CHECK(chirps.size() == tag_states.size());
+
+  ++report_.uplink_frames;
+  report_.chirps_processed += chirps.size();
 
   radar::IfSynthesizer synth(config_.radar.if_synth, rng_.fork());
   const double reflect =
@@ -170,18 +207,30 @@ UplinkRunResult LinkSimulator::process_uplink_frame(
   // pool with bit-identical results.
   std::vector<dsp::CVec> if_samples(chirps.size());
   double mean_samples = 0.0;
-  for (std::size_t i = 0; i < chirps.size(); ++i) {
-    const double factor = tag_states[i] ? reflect : leak;
-    const auto returns = chirp_returns(factor);
-    if_samples[i] = synth.synthesize(chirps[i], returns);
-    mean_samples += static_cast<double>(if_samples[i].size());
+  {
+    obs::StageTimer timer(report_.stage.if_synthesis_s);
+    for (std::size_t i = 0; i < chirps.size(); ++i) {
+      const double factor = tag_states[i] ? reflect : leak;
+      const auto returns = chirp_returns(factor);
+      if_samples[i] = synth.synthesize(chirps[i], returns);
+      mean_samples += static_cast<double>(if_samples[i].size());
+    }
   }
   mean_samples /= static_cast<double>(chirps.size());
 
-  const auto profiles = range_processor_.process_frame(
-      if_samples, chirps, config_.radar.if_synth.sample_rate_hz, pool_);
-  auto aligned = aligner_.align(profiles, pool_);
-  if (config_.use_background_subtraction) radar::subtract_background(aligned, 0);
+  std::vector<radar::RangeProfile> profiles;
+  {
+    obs::StageTimer timer(report_.stage.range_fft_s);
+    profiles = range_processor_.process_frame(
+        if_samples, chirps, config_.radar.if_synth.sample_rate_hz, pool_);
+  }
+  radar::AlignedProfiles aligned;
+  {
+    obs::StageTimer timer(report_.stage.if_correction_s);
+    aligned = aligner_.align(profiles, pool_);
+    if (config_.use_background_subtraction)
+      radar::subtract_background(aligned, 0);
+  }
 
   const auto& ul = tag_.modulator().config();
   radar::TagDetectorConfig det_cfg;
@@ -196,27 +245,41 @@ UplinkRunResult LinkSimulator::process_uplink_frame(
 
   UplinkRunResult result;
   result.downlink_active = downlink_active;
-  result.detection = detector.detect(aligned, pool_);
+  {
+    obs::StageTimer timer(report_.stage.detect_s);
+    result.detection = detector.detect(aligned, pool_);
+  }
   result.snr_processed_db = result.detection.snr_db;
   const double gain_db = 10.0 * std::log10(std::max(mean_samples, 1.0)) +
                          10.0 * std::log10(static_cast<double>(chirps.size()));
   result.snr_per_chirp_db = result.snr_processed_db - gain_db;
 
+  ++report_.detection_attempts;
+  report_.detector_snr_sum_db += result.detection.snr_db;
+  report_.last_detector_snr_db = result.detection.snr_db;
+  if (result.detection.found) ++report_.detections;
+  report_.uplink_bits += sent_bits.size();
+
   result.bits_compared = sent_bits.size();
   if (!result.detection.found) {
     result.bit_errors = sent_bits.size();
     result.range_error_m = std::abs(result.detection.range_m - scene_.tag_range_m);
+    report_.uplink_bit_errors += result.bit_errors;
     return result;
   }
   result.range_error_m = std::abs(result.detection.range_m - scene_.tag_range_m);
 
   if (chirps.size() < ul.chirps_per_symbol) return result;  // frame too short
   const radar::UplinkDecoder decoder(ul);
-  result.decode = decoder.decode(aligned, result.detection.grid_bin);
+  {
+    obs::StageTimer timer(report_.stage.uplink_decode_s);
+    result.decode = decoder.decode(aligned, result.detection.grid_bin);
+  }
   for (std::size_t i = 0; i < sent_bits.size(); ++i) {
     if (i >= result.decode.bits.size() || result.decode.bits[i] != sent_bits[i])
       ++result.bit_errors;
   }
+  report_.uplink_bit_errors += result.bit_errors;
   return result;
 }
 
@@ -245,6 +308,8 @@ UplinkRunResult LinkSimulator::run_uplink(const phy::Bits& bits, bool downlink_a
 
 IsacRunResult LinkSimulator::run_integrated(const phy::Bits& downlink_payload,
                                             const phy::Bits& uplink_bits) {
+  BIS_TRACE_SPAN("core.run_integrated");
+  ++report_.integrated_frames;
   const phy::DownlinkPacket packet(config_.packet, downlink_payload);
   const auto packet_slots = packet.to_slots(alphabet_);
   const std::size_t preamble =
@@ -298,10 +363,18 @@ IsacRunResult LinkSimulator::run_integrated(const phy::Bits& downlink_payload,
   tag_.frontend().auto_gain(paths);
   std::unique_ptr<bool[]> flags(new bool[chirps.size()]);
   for (std::size_t i = 0; i < chirps.size(); ++i) flags[i] = states[i] == 0;
-  const auto stream = tag_.frontend().receive_frame(
-      chirps, paths, std::span<const bool>(flags.get(), chirps.size()));
+  dsp::RVec stream;
+  {
+    obs::StageTimer timer(report_.stage.tag_frontend_s);
+    stream = tag_.frontend().receive_frame(
+        chirps, paths, std::span<const bool>(flags.get(), chirps.size()));
+  }
   const std::vector<bool> mask(flags.get(), flags.get() + chirps.size());
-  auto reception = tag_.receive_downlink(stream, config_.packet, mask);
+  tag::TagNode::DownlinkReception reception;
+  {
+    obs::StageTimer timer(report_.stage.tag_decode_s);
+    reception = tag_.receive_downlink(stream, config_.packet, mask);
+  }
 
   IsacRunResult result;
   result.downlink.decode = std::move(reception.decode);
@@ -318,6 +391,7 @@ IsacRunResult LinkSimulator::run_integrated(const phy::Bits& downlink_payload,
   } else {
     result.downlink.bit_errors = sent.size();
   }
+  record_downlink(result.downlink);
 
   // --- Radar side: sensing + uplink decoding over the same frame. ---
   const std::size_t block = ul.chirps_per_symbol;
@@ -330,6 +404,30 @@ IsacRunResult LinkSimulator::run_integrated(const phy::Bits& downlink_payload,
   result.uplink = process_uplink_frame(chirps, states, comparable,
                                        /*downlink_active=*/true);
   return result;
+}
+
+obs::RunReport LinkSimulator::report() const {
+  obs::RunReport out = report_;
+  // The plan cache is process-wide; the delta since this simulator's
+  // baseline attributes warm-up misses and steady-state hits to this run.
+  // (Concurrent simulators fold each other's transforms into the delta —
+  // acceptable for a run report, exact for the common one-sim-per-run case.)
+  const auto fft_stats = dsp::fft_plan_cache_stats();
+  out.fft_plan_hits = fft_stats.hits - fft_hits_baseline_;
+  out.fft_plan_misses = fft_stats.misses - fft_misses_baseline_;
+  out.fft_plans = fft_stats.plans;
+  out.window_cache_entries = dsp::window_cache_size();
+  return out;
+}
+
+std::string LinkSimulator::report_json() const { return report().to_json(); }
+
+void LinkSimulator::reset_report() {
+  report_ = obs::RunReport{};
+  report_.config = config_key(config_);
+  const auto fft_stats = dsp::fft_plan_cache_stats();
+  fft_hits_baseline_ = fft_stats.hits;
+  fft_misses_baseline_ = fft_stats.misses;
 }
 
 }  // namespace bis::core

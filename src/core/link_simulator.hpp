@@ -17,6 +17,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/system_config.hpp"
+#include "obs/report.hpp"
 #include "phy/ber.hpp"
 #include "radar/if_synthesizer.hpp"
 #include "radar/range_align.hpp"
@@ -97,6 +98,19 @@ class LinkSimulator {
   /// taps), in frontend units.
   std::vector<tag::IncidentPath> incident_paths(double range_m) const;
 
+  // ---- Telemetry (see obs/report.hpp) ----
+
+  /// Structured stats accumulated across every run_* call on this
+  /// simulator, with DSP-cache deltas captured at call time and the report
+  /// keyed by config_key(config()). Outcome counters are always maintained;
+  /// the per-stage timers fill only while telemetry is enabled
+  /// (SystemConfig::telemetry or BIS_TRACE).
+  obs::RunReport report() const;
+  std::string report_json() const;
+
+  /// Zero the accumulated report (the cache-delta baseline resets too).
+  void reset_report();
+
  private:
   /// IF returns for one chirp given the tag's reflective amplitude factor.
   std::vector<radar::IfReturn> chirp_returns(double tag_amplitude_factor) const;
@@ -105,6 +119,10 @@ class LinkSimulator {
                                        const std::vector<int>& tag_states,
                                        const phy::Bits& sent_bits,
                                        bool downlink_active);
+
+  /// Fold a finished downlink decode into report_ (shared by run_downlink
+  /// and run_integrated).
+  void record_downlink(const DownlinkRunResult& result);
 
   SystemConfig config_;
   phy::SlopeAlphabet alphabet_;
@@ -115,6 +133,9 @@ class LinkSimulator {
   radar::RangeAligner aligner_;
   std::unique_ptr<ThreadPool> owned_pool_;  ///< When config_.dsp_threads > 1.
   ThreadPool* pool_ = nullptr;              ///< nullptr = sequential.
+  obs::RunReport report_;                   ///< Accumulated run telemetry.
+  std::uint64_t fft_hits_baseline_ = 0;     ///< Plan-cache counts at ctor /
+  std::uint64_t fft_misses_baseline_ = 0;   ///< reset_report, for deltas.
 };
 
 /// Resolve a dsp_threads setting (see SystemConfig) to the pool the frame

@@ -1,9 +1,14 @@
 #include "core/network.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/window.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "radar/if_synthesizer.hpp"
 #include "radar/range_align.hpp"
 #include "radar/range_processor.hpp"
@@ -28,6 +33,9 @@ std::vector<double> assign_mod_frequencies(std::size_t n, double chirp_period_s)
 
 BiScatterNetwork::BiScatterNetwork(const NetworkConfig& config) : config_(config) {
   BIS_CHECK(!config_.tags.empty());
+  if (config_.base.telemetry) obs::set_enabled(true);
+  report_.config =
+      config_key(config_.base) + "|tags=" + std::to_string(config_.tags.size());
   pool_ = resolve_dsp_pool(config_.base.dsp_threads, owned_pool_);
   links_.reserve(config_.tags.size());
   for (std::size_t i = 0; i < config_.tags.size(); ++i) {
@@ -49,6 +57,8 @@ void BiScatterNetwork::calibrate_all() {
 
 std::vector<DownlinkDelivery> BiScatterNetwork::send_downlink(
     std::uint8_t address, const phy::Bits& payload) {
+  BIS_TRACE_SPAN("core.network_downlink");
+  ++report_.downlink_frames;
   std::vector<DownlinkDelivery> out;
   out.reserve(links_.size());
   for (std::size_t i = 0; i < links_.size(); ++i) {
@@ -71,9 +81,17 @@ std::vector<DownlinkDelivery> BiScatterNetwork::send_downlink(
     std::vector<rf::ChirpParams> chirps = frame.chirps();
     std::unique_ptr<bool[]> flags(new bool[chirps.size()]);
     std::fill_n(flags.get(), chirps.size(), true);
-    const auto stream = node.frontend().receive_frame(
-        chirps, paths, std::span<const bool>(flags.get(), chirps.size()));
-    auto rx = node.receive_downlink(stream, pkt);
+    dsp::RVec stream;
+    {
+      obs::StageTimer timer(report_.stage.tag_frontend_s);
+      stream = node.frontend().receive_frame(
+          chirps, paths, std::span<const bool>(flags.get(), chirps.size()));
+    }
+    tag::TagNode::DownlinkReception rx;
+    {
+      obs::StageTimer timer(report_.stage.tag_decode_s);
+      rx = node.receive_downlink(stream, pkt);
+    }
 
     DownlinkDelivery d;
     d.address = config_.tags[i].address;
@@ -81,12 +99,17 @@ std::vector<DownlinkDelivery> BiScatterNetwork::send_downlink(
     d.crc_ok = rx.packet.crc_ok;
     d.address_match = rx.packet.address_match && rx.packet.crc_ok && d.locked;
     if (d.address_match) d.payload = rx.packet.payload;
+    ++report_.sync_attempts;
+    ++report_.crc_attempts;
+    if (d.locked) ++report_.sync_locks;
+    if (d.crc_ok) ++report_.crc_passes;
     out.push_back(std::move(d));
   }
   return out;
 }
 
 std::vector<TagObservation> BiScatterNetwork::sense_all(bool downlink_active) {
+  BIS_TRACE_SPAN("core.network_sense");
   const auto& base = config_.base;
   Rng rng(base.seed ^ 0x5E25Eull);
   const auto alphabet = links_.front()->alphabet();
@@ -130,31 +153,45 @@ std::vector<TagObservation> BiScatterNetwork::sense_all(bool downlink_active) {
 
   // Synthesis stays sequential (single RNG stream); the frame DSP below
   // fans across the pool with bit-identical results.
+  ++report_.uplink_frames;
+  report_.chirps_processed += n_chirps;
   std::vector<dsp::CVec> if_samples(n_chirps);
-  for (std::size_t c = 0; c < n_chirps; ++c) {
-    std::vector<radar::IfReturn> returns;
-    for (const auto& cl : clutter_scene.clutter)
-      returns.push_back({cl.range_m, cl.amplitude_v, cl.phase_rad});
-    const double t = static_cast<double>(c) * base.radar.chirp_period_s;
-    for (std::size_t i = 0; i < links_.size(); ++i) {
-      const double f = config_.tags[i].mod_freq_hz;
-      const double phase = t * f - std::floor(t * f);
-      const bool on = phase < 0.5;
-      returns.push_back({config_.tags[i].range_m,
-                         tag_amp[i] * (on ? reflect : leak),
-                         0.37 * static_cast<double>(i)});
+  {
+    obs::StageTimer timer(report_.stage.if_synthesis_s);
+    for (std::size_t c = 0; c < n_chirps; ++c) {
+      std::vector<radar::IfReturn> returns;
+      for (const auto& cl : clutter_scene.clutter)
+        returns.push_back({cl.range_m, cl.amplitude_v, cl.phase_rad});
+      const double t = static_cast<double>(c) * base.radar.chirp_period_s;
+      for (std::size_t i = 0; i < links_.size(); ++i) {
+        const double f = config_.tags[i].mod_freq_hz;
+        const double phase = t * f - std::floor(t * f);
+        const bool on = phase < 0.5;
+        returns.push_back({config_.tags[i].range_m,
+                           tag_amp[i] * (on ? reflect : leak),
+                           0.37 * static_cast<double>(i)});
+      }
+      if_samples[c] = synth.synthesize(chirps[c], returns);
     }
-    if_samples[c] = synth.synthesize(chirps[c], returns);
   }
-  const auto profiles = processor.process_frame(
-      if_samples, chirps, base.radar.if_synth.sample_rate_hz, pool_);
+  std::vector<radar::RangeProfile> profiles;
+  {
+    obs::StageTimer timer(report_.stage.range_fft_s);
+    profiles = processor.process_frame(
+        if_samples, chirps, base.radar.if_synth.sample_rate_hz, pool_);
+  }
 
   radar::RangeAligner aligner{radar::RangeAlignConfig{}};
-  auto aligned = aligner.align(profiles, pool_);
-  if (base.use_background_subtraction) radar::subtract_background(aligned, 0);
+  radar::AlignedProfiles aligned;
+  {
+    obs::StageTimer timer(report_.stage.if_correction_s);
+    aligned = aligner.align(profiles, pool_);
+    if (base.use_background_subtraction) radar::subtract_background(aligned, 0);
+  }
 
   std::vector<TagObservation> out;
   out.reserve(links_.size());
+  obs::StageTimer detect_timer(report_.stage.detect_s);
   for (std::size_t i = 0; i < links_.size(); ++i) {
     radar::TagDetectorConfig det_cfg;
     det_cfg.expected_mod_freq_hz = config_.tags[i].mod_freq_hz;
@@ -166,9 +203,37 @@ std::vector<TagObservation> BiScatterNetwork::sense_all(bool downlink_active) {
     obs.range_m = det.range_m;
     obs.range_error_m = std::abs(det.range_m - config_.tags[i].range_m);
     obs.snr_db = det.snr_db;
+    ++report_.detection_attempts;
+    if (det.found) {
+      ++report_.detections;
+      report_.detector_snr_sum_db += det.snr_db;
+      report_.last_detector_snr_db = det.snr_db;
+    }
     out.push_back(obs);
   }
   return out;
+}
+
+obs::RunReport BiScatterNetwork::report() const {
+  obs::RunReport out = report_;
+  const auto fft_stats = dsp::fft_plan_cache_stats();
+  out.fft_plan_hits = fft_stats.hits;
+  out.fft_plan_misses = fft_stats.misses;
+  out.fft_plans = fft_stats.plans;
+  out.window_cache_entries = dsp::window_cache_size();
+  return out;
+}
+
+std::string BiScatterNetwork::report_json() const {
+  std::ostringstream oss;
+  oss << "{\n  \"network\": " << report().to_json();
+  oss << ",\n  \"links\": [";
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (i != 0) oss << ',';
+    oss << '\n' << links_[i]->report().to_json();
+  }
+  oss << "\n  ]\n}\n";
+  return oss.str();
 }
 
 }  // namespace bis::core

@@ -14,6 +14,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/link_simulator.hpp"
+#include "obs/report.hpp"
 #include "phy/bits.hpp"
 #include "radar/tag_detector.hpp"
 
@@ -66,11 +67,21 @@ class BiScatterNetwork {
 
   const NetworkConfig& config() const { return config_; }
 
+  // ---- Telemetry (see obs/report.hpp) ----
+
+  /// Radar-side stats accumulated by this network object (broadcast
+  /// deliveries, sensing frames/chirps, detections).
+  obs::RunReport report() const;
+
+  /// JSON: {"network": <network report>, "links": [<per-tag reports>]}.
+  std::string report_json() const;
+
  private:
   NetworkConfig config_;
   std::vector<std::unique_ptr<LinkSimulator>> links_;  ///< One per tag.
   std::unique_ptr<ThreadPool> owned_pool_;  ///< When base.dsp_threads > 1.
   ThreadPool* pool_ = nullptr;              ///< Frame DSP pool (see SystemConfig).
+  obs::RunReport report_;                   ///< Radar-side run telemetry.
 };
 
 /// Assign well-separated modulation frequencies to @p n tags below the

@@ -1,6 +1,7 @@
 #include "core/system_config.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.hpp"
 #include "common/constants.hpp"
@@ -91,6 +92,15 @@ phy::SlopeAlphabet SystemConfig::make_alphabet() const {
   a.min_chirp_duration_s =
       std::max({radar.min_chirp_duration_s, t_for_max_beat, t_for_window});
   return phy::SlopeAlphabet::design(a);
+}
+
+std::string config_key(const SystemConfig& config) {
+  std::ostringstream oss;
+  oss << config.radar.name << '|' << config.tag.name
+      << "|bw=" << config.radar.bandwidth_hz
+      << "|bps=" << config.bits_per_symbol
+      << "|range=" << config.tag_range_m << "|seed=" << config.seed;
+  return oss.str();
 }
 
 }  // namespace bis::core

@@ -73,11 +73,24 @@ struct SystemConfig {
                                      ///< strictly sequential, k = private
                                      ///< k-lane pool. Results are
                                      ///< bit-identical for every setting.
+  bool telemetry = false;            ///< Turn on the bis::obs subsystem
+                                     ///< (trace spans, metrics, stage
+                                     ///< timers). Latched process-wide when
+                                     ///< a LinkSimulator/BiScatterNetwork is
+                                     ///< built with it; the BIS_TRACE env
+                                     ///< var enables it too. Off: the only
+                                     ///< cost on the hot path is a relaxed
+                                     ///< atomic load + branch per site.
 
   /// Derive the CSSK alphabet for this radar+tag combination. Clamps the
   /// maximum beat frequency below the tag ADC Nyquist bound by raising the
   /// minimum chirp duration when needed.
   phy::SlopeAlphabet make_alphabet() const;
 };
+
+/// Compact human-readable key identifying a configuration, used to label
+/// telemetry run reports (obs::RunReport::config), e.g.
+/// "9GHz chirp generator (LMX2492EVM)|prototype|bw=1e+09|range=2|seed=1".
+std::string config_key(const SystemConfig& config);
 
 }  // namespace bis::core

@@ -1,0 +1,148 @@
+#pragma once
+
+/// @file metrics.hpp
+/// Thread-safe metrics for the BiScatter pipeline: monotonic counters,
+/// gauges, and fixed-bucket histograms with quantile readout, held in a
+/// process-wide named registry.
+///
+/// Naming scheme: `bis.<subsystem>.<metric>[_<unit>]`, e.g.
+/// `bis.radar.chirps_processed`, `bis.pool.task_latency_us`,
+/// `bis.radar.detector_snr_db`. Units are spelled in the suffix so a reader
+/// of the JSON dump never has to guess.
+///
+/// Hot-path cost: every update starts with the `obs::enabled()` relaxed
+/// load; when telemetry is on, a counter add is one relaxed `fetch_add` on a
+/// cache-line-padded shard indexed by thread, a gauge set is one relaxed
+/// store, and a histogram observe is a branchless bucket search plus two
+/// relaxed atomic updates. Metric objects returned by the registry live for
+/// the process lifetime, so the idiomatic pattern is a function-local
+/// static:
+///
+///   static obs::Counter& chirps =
+///       obs::Registry::instance().counter("bis.radar.chirps_processed");
+///   chirps.add(n);
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace bis::obs {
+
+/// Monotonic counter. Updates are sharded across cache-line-padded atomics
+/// (indexed by a per-thread id) so concurrent `parallel_for` lanes never
+/// contend on one cache line; reads sum the shards.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    shards_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static std::size_t shard_index();
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-value gauge (e.g. queue depth, most recent SNR).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram over non-negative samples. Bucket i counts samples
+/// with value <= upper_bounds[i] (the last bucket is the +inf overflow).
+/// Quantiles are read out by linear interpolation inside the containing
+/// bucket — the standard Prometheus-style estimate.
+class Histogram {
+ public:
+  /// @p upper_bounds must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// n log-spaced bucket bounds covering [lo, hi] (lo > 0, n >= 2).
+  static std::vector<double> exponential_bounds(double lo, double hi,
+                                                std::size_t n);
+
+  void observe(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  /// Estimated q-quantile (q in [0, 1]); 0 when the histogram is empty.
+  /// Samples beyond the last bound report the last finite bound.
+  double quantile(double q) const;
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds + overflow.
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide metric registry. Lookup is mutex-guarded (cold path, once
+/// per call site thanks to the function-local-static idiom); the returned
+/// references stay valid for the process lifetime.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  /// First call for a name fixes the bucket layout; later calls return the
+  /// existing histogram regardless of @p upper_bounds. Empty bounds select
+  /// the default log-spaced layout (1 … 1e6, 25 buckets) suited to
+  /// microsecond latencies.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds = {});
+
+  /// Dump every metric as one JSON object: counters/gauges as values,
+  /// histograms as {count, sum, p50, p95, p99, buckets}.
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+
+  /// Zero every metric, keeping registrations (tests/benchmarks).
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  // std::map keeps the JSON dump deterministically sorted by name.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace bis::obs

@@ -1,0 +1,90 @@
+#include "obs/report.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+#include "obs/telemetry.hpp"
+
+namespace bis::obs {
+namespace {
+
+double rate(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+double RunReport::sync_lock_rate() const { return rate(sync_locks, sync_attempts); }
+double RunReport::crc_pass_rate() const { return rate(crc_passes, crc_attempts); }
+double RunReport::downlink_ber() const {
+  return rate(downlink_bit_errors, downlink_bits);
+}
+double RunReport::uplink_ber() const { return rate(uplink_bit_errors, uplink_bits); }
+double RunReport::mean_detector_snr_db() const {
+  return detection_attempts == 0
+             ? 0.0
+             : detector_snr_sum_db / static_cast<double>(detection_attempts);
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  os << "{\n";
+  os << "  \"config\": \"" << json_escape(config) << "\",\n";
+  os << "  \"frames\": {\"downlink\": " << downlink_frames
+     << ", \"uplink\": " << uplink_frames
+     << ", \"integrated\": " << integrated_frames << "},\n";
+  os << "  \"chirps_processed\": " << chirps_processed << ",\n";
+  os << "  \"downlink\": {\"sync_attempts\": " << sync_attempts
+     << ", \"sync_locks\": " << sync_locks
+     << ", \"sync_lock_rate\": " << sync_lock_rate()
+     << ", \"crc_attempts\": " << crc_attempts
+     << ", \"crc_passes\": " << crc_passes
+     << ", \"crc_pass_rate\": " << crc_pass_rate()
+     << ", \"bits\": " << downlink_bits
+     << ", \"bit_errors\": " << downlink_bit_errors
+     << ", \"ber\": " << downlink_ber() << "},\n";
+  os << "  \"uplink\": {\"detection_attempts\": " << detection_attempts
+     << ", \"detections\": " << detections
+     << ", \"bits\": " << uplink_bits
+     << ", \"bit_errors\": " << uplink_bit_errors
+     << ", \"ber\": " << uplink_ber()
+     << ", \"detector_snr_db\": " << last_detector_snr_db
+     << ", \"mean_detector_snr_db\": " << mean_detector_snr_db() << "},\n";
+  os << "  \"fft_plan_cache\": {\"hits\": " << fft_plan_hits
+     << ", \"misses\": " << fft_plan_misses << ", \"plans\": " << fft_plans
+     << "},\n";
+  os << "  \"window_cache_entries\": " << window_cache_entries << ",\n";
+  os << "  \"stage_seconds\": {\"if_synthesis\": " << stage.if_synthesis_s
+     << ", \"range_fft\": " << stage.range_fft_s
+     << ", \"if_correction\": " << stage.if_correction_s
+     << ", \"detect\": " << stage.detect_s
+     << ", \"uplink_decode\": " << stage.uplink_decode_s
+     << ", \"tag_frontend\": " << stage.tag_frontend_s
+     << ", \"tag_decode\": " << stage.tag_decode_s << "}\n";
+  os << "}";
+}
+
+std::string RunReport::to_json() const {
+  std::ostringstream oss;
+  write_json(oss);
+  return oss.str();
+}
+
+StageTimer::StageTimer(double& accum_s)
+    : accum_s_(enabled() ? &accum_s : nullptr) {
+  if (accum_s_ != nullptr) start_ns_ = mono_ns();
+}
+
+StageTimer::~StageTimer() {
+  if (accum_s_ != nullptr)
+    *accum_s_ += static_cast<double>(mono_ns() - start_ns_) / 1e9;
+}
+
+}  // namespace bis::obs

@@ -1,0 +1,93 @@
+#pragma once
+
+/// @file report.hpp
+/// Per-run structured telemetry: a `RunReport` accumulates link-level
+/// quantities (frames, chirps, sync/CRC/detection outcomes, bit errors,
+/// detector SNR) plus DSP-cache and per-stage-time observations, and dumps
+/// them as one JSON object keyed by the system configuration. LinkSimulator
+/// and BiScatterNetwork each own one and expose `report()` /
+/// `report_json()`.
+///
+/// The outcome counters are plain integers updated from the (sequential)
+/// run_* methods — always on, effectively free. The stage timers are gated
+/// by `obs::enabled()` via `StageTimer`, so the disabled cost is one relaxed
+/// load per stage per frame.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace bis::obs {
+
+/// Accumulated wall time per pipeline stage, seconds.
+struct StageTimes {
+  double if_synthesis_s = 0.0;
+  double range_fft_s = 0.0;
+  double if_correction_s = 0.0;  ///< IF-correction regrid (RangeAligner).
+  double detect_s = 0.0;
+  double uplink_decode_s = 0.0;
+  double tag_frontend_s = 0.0;
+  double tag_decode_s = 0.0;
+};
+
+struct RunReport {
+  std::string config;  ///< Configuration key (core::config_key).
+
+  // Frames and chirps through the pipeline.
+  std::uint64_t downlink_frames = 0;
+  std::uint64_t uplink_frames = 0;
+  std::uint64_t integrated_frames = 0;
+  std::uint64_t chirps_processed = 0;  ///< Radar-side chirps (range FFTs).
+
+  // Downlink outcomes.
+  std::uint64_t sync_attempts = 0;
+  std::uint64_t sync_locks = 0;
+  std::uint64_t crc_attempts = 0;
+  std::uint64_t crc_passes = 0;
+  std::uint64_t downlink_bits = 0;
+  std::uint64_t downlink_bit_errors = 0;
+
+  // Uplink / sensing outcomes.
+  std::uint64_t detection_attempts = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t uplink_bits = 0;
+  std::uint64_t uplink_bit_errors = 0;
+  double detector_snr_sum_db = 0.0;  ///< Over detection attempts.
+  double last_detector_snr_db = 0.0;
+
+  // DSP-cache activity attributable to this run (deltas since the owner was
+  // constructed, captured at report time).
+  std::uint64_t fft_plan_hits = 0;
+  std::uint64_t fft_plan_misses = 0;
+  std::uint64_t fft_plans = 0;           ///< Distinct sizes currently cached.
+  std::uint64_t window_cache_entries = 0;
+
+  StageTimes stage;
+
+  double sync_lock_rate() const;
+  double crc_pass_rate() const;
+  double downlink_ber() const;
+  double uplink_ber() const;
+  double mean_detector_snr_db() const;
+
+  /// One JSON object with every field above plus the derived rates.
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+};
+
+/// RAII stopwatch adding its scope's wall time to a StageTimes field when
+/// telemetry is enabled (latched at construction); a no-op branch otherwise.
+class StageTimer {
+ public:
+  explicit StageTimer(double& accum_s);
+  ~StageTimer();
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  double* accum_s_;  ///< nullptr when telemetry was off at entry.
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace bis::obs

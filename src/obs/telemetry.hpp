@@ -1,0 +1,45 @@
+#pragma once
+
+/// @file telemetry.hpp
+/// Process-wide telemetry master switch for the `bis::obs` subsystem. Every
+/// hot-path instrumentation point (trace spans, metric updates) first checks
+/// `obs::enabled()`; when the switch is off the cost is one relaxed atomic
+/// load and a predictable branch — verified by the telemetry-overhead
+/// guardrail in `bench_dsp_kernels` (BENCH_dsp.json `telemetry_overhead`).
+///
+/// The switch is turned on by either
+///   - `SystemConfig::telemetry = true` (latched when a LinkSimulator or
+///     BiScatterNetwork is constructed with it), or
+///   - the `BIS_TRACE` environment variable at process start:
+///       BIS_TRACE=1           enable telemetry
+///       BIS_TRACE=trace.json  enable telemetry and write a Chrome-trace
+///                             JSON (chrome://tracing) to that path at exit
+///       BIS_TRACE=0 / unset   leave it off
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+namespace bis::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Hot-path check: relaxed load + branch; safe from any thread.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flip the process-wide switch (thread-safe, takes effect immediately;
+/// spans already open stay consistent — activation is latched per span).
+void set_enabled(bool on);
+
+/// Trace-dump path requested via BIS_TRACE (empty when none). The dump to
+/// this path happens automatically at process exit.
+const std::string& trace_env_path();
+
+/// Escape a string for embedding in a JSON string literal.
+std::string json_escape(std::string_view s);
+
+}  // namespace bis::obs

@@ -5,6 +5,8 @@
 #include "common/check.hpp"
 #include "common/constants.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bis::radar {
 
@@ -24,8 +26,12 @@ std::size_t IfSynthesizer::samples_per_chirp(const rf::ChirpParams& chirp) const
 
 dsp::CVec IfSynthesizer::synthesize(const rf::ChirpParams& chirp,
                                     std::span<const IfReturn> returns) {
+  BIS_TRACE_SPAN("radar.if_synthesis");
   BIS_CHECK(chirp.valid());
   const std::size_t n = samples_per_chirp(chirp);
+  static obs::Counter& samples =
+      obs::Registry::instance().counter("bis.radar.if_samples_synthesized");
+  samples.add(n);
   dsp::CVec out(n, dsp::cdouble(0.0, 0.0));
   const double dt = 1.0 / config_.sample_rate_hz;
 

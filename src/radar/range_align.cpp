@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "dsp/resample.hpp"
+#include "obs/trace.hpp"
 
 namespace bis::radar {
 
@@ -26,6 +27,7 @@ RangeAligner::RangeAligner(const RangeAlignConfig& config) : config_(config) {}
 
 AlignedProfiles RangeAligner::align(std::span<const RangeProfile> profiles,
                                     ThreadPool* pool) const {
+  BIS_TRACE_SPAN("radar.if_correction");
   BIS_CHECK(!profiles.empty());
   AlignedProfiles out;
   out.chirp_period_s = profiles.front().chirp.period();

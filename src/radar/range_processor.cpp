@@ -2,6 +2,8 @@
 
 #include "common/check.hpp"
 #include "dsp/fft.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bis::radar {
 
@@ -32,6 +34,7 @@ RangeProcessor::RangeProcessor(const RangeProcessorConfig& config) : config_(con
 RangeProfile RangeProcessor::process(std::span<const dsp::cdouble> if_samples,
                                      const rf::ChirpParams& chirp,
                                      double sample_rate_hz) const {
+  BIS_TRACE_SPAN("radar.range_fft");
   BIS_CHECK(!if_samples.empty());
   BIS_CHECK(sample_rate_hz > 0.0);
   // CSSK frames reuse a handful of chirp lengths, so the window and the FFT
@@ -56,7 +59,11 @@ std::vector<RangeProfile> RangeProcessor::process_frame(
     std::span<const dsp::CVec> chirp_samples,
     std::span<const rf::ChirpParams> chirps, double sample_rate_hz,
     ThreadPool* pool) const {
+  BIS_TRACE_SPAN("radar.range_fft_frame");
   BIS_CHECK(chirp_samples.size() == chirps.size());
+  static obs::Counter& chirps_processed =
+      obs::Registry::instance().counter("bis.radar.chirps_processed");
+  chirps_processed.add(chirp_samples.size());
   std::vector<RangeProfile> profiles(chirp_samples.size());
   bis::parallel_for(pool, 0, chirp_samples.size(), [&](std::size_t i) {
     profiles[i] = process(chirp_samples[i], chirps[i], sample_rate_hz);

@@ -10,6 +10,8 @@
 #include "dsp/matched_filter.hpp"
 #include "dsp/peak.hpp"
 #include "dsp/window.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bis::radar {
 
@@ -47,6 +49,7 @@ TagDetector::BinScores TagDetector::score_block(const AlignedProfiles& profiles,
                                                 std::size_t first,
                                                 std::size_t count,
                                                 ThreadPool* pool) const {
+  BIS_TRACE_SPAN("radar.score_block");
   const double slow_fs = 1.0 / profiles.chirp_period_s;
   const std::size_t n_fft =
       dsp::next_power_of_two(count) * config_.slow_time_pad_factor;
@@ -108,6 +111,7 @@ TagDetector::BinScores TagDetector::score_block(const AlignedProfiles& profiles,
 
 TagDetection TagDetector::detect(const AlignedProfiles& profiles,
                                  ThreadPool* pool) const {
+  BIS_TRACE_SPAN("radar.detect");
   TagDetection det;
   if (profiles.n_chirps() < 8 || profiles.n_bins() < 4) return det;
 
@@ -157,6 +161,17 @@ TagDetection TagDetector::detect(const AlignedProfiles& profiles,
   det.signature_score = score[peak.index];
   det.snr_db = snr_db;
   det.found = snr_db >= config_.detection_threshold_db;
+
+  static obs::Gauge& snr_gauge =
+      obs::Registry::instance().gauge("bis.radar.detector_snr_db");
+  static obs::Histogram& snr_hist = obs::Registry::instance().histogram(
+      "bis.radar.detector_snr_hist_db",
+      {0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 60.0});
+  static obs::Counter& detections =
+      obs::Registry::instance().counter("bis.radar.detections");
+  snr_gauge.set(snr_db);
+  snr_hist.observe(std::max(snr_db, 0.0));
+  if (det.found) detections.add();
 
   // Sub-bin range refinement on the detection metric.
   const double grid_step = profiles.range_grid.size() >= 2

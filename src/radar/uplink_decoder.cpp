@@ -7,6 +7,8 @@
 #include "common/stats.hpp"
 #include "dsp/goertzel.hpp"
 #include "dsp/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bis::radar {
 
@@ -21,6 +23,7 @@ UplinkDecodeResult UplinkDecoder::decode(const AlignedProfiles& profiles,
 }
 
 UplinkDecodeResult UplinkDecoder::decode_series(const dsp::RVec& series) const {
+  BIS_TRACE_SPAN("radar.uplink_decode");
   const std::size_t block = config_.chirps_per_symbol;
   BIS_CHECK_MSG(series.size() >= block, "series shorter than one uplink symbol");
   const double slow_fs = 1.0 / config_.chirp_period_s;
@@ -65,6 +68,9 @@ UplinkDecodeResult UplinkDecoder::decode_series(const dsp::RVec& series) const {
     }
   }
   out.bits = phy::symbols_to_bits(out.symbols, bps);
+  static obs::Counter& symbols =
+      obs::Registry::instance().counter("bis.radar.uplink_symbols_decoded");
+  symbols.add(out.symbols.size());
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phy/slope_alphabet.hpp"
 
 namespace bis::tag {
@@ -37,6 +39,10 @@ TagDecoder::TagDecoder(const TagDecoderConfig& config)
 
 DownlinkDecodeResult TagDecoder::decode_stream(
     const dsp::RVec& stream, const std::vector<bool>& absorptive_mask) const {
+  BIS_TRACE_SPAN("tag.decode_stream");
+  static obs::Counter& sync_attempts =
+      obs::Registry::instance().counter("bis.tag.sync_attempts");
+  sync_attempts.add();
   DownlinkDecodeResult result;
 
   // Step 1 (paper Fig. 6): chirp period from the long-window analysis of
@@ -192,6 +198,9 @@ DownlinkDecodeResult TagDecoder::decode_stream(
   result.sync_run = sync_run;
   result.locked =
       header_run >= config_.min_header_run && !result.payload_slots.empty();
+  static obs::Counter& sync_locks =
+      obs::Registry::instance().counter("bis.tag.sync_locks");
+  if (result.locked) sync_locks.add();
   if (!result.locked) return result;
 
   // Slots → data symbols → bits. A payload burst that classified as a

@@ -6,6 +6,8 @@
 #include "common/check.hpp"
 #include "common/constants.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bis::tag {
 
@@ -109,7 +111,11 @@ dsp::RVec TagFrontend::receive_chirp_period(const rf::ChirpParams& chirp,
 dsp::RVec TagFrontend::receive_frame(std::span<const rf::ChirpParams> chirps,
                                      std::span<const IncidentPath> paths,
                                      std::span<const bool> absorptive) {
+  BIS_TRACE_SPAN("tag.frontend_frame");
   BIS_CHECK(chirps.size() == absorptive.size());
+  static obs::Counter& chirps_received =
+      obs::Registry::instance().counter("bis.tag.chirps_received");
+  chirps_received.add(chirps.size());
   dsp::RVec stream;
   for (std::size_t i = 0; i < chirps.size(); ++i) {
     const auto chunk = receive_chirp_period(chirps[i], paths, absorptive[i]);
