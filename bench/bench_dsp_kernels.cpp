@@ -8,10 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +23,8 @@
 #include "common/thread_pool.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/goertzel.hpp"
+#include "dsp/oscillator.hpp"
+#include "dsp/spectrum.hpp"
 #include "dsp/tone_fit.hpp"
 #include "dsp/window.hpp"
 #include "obs/telemetry.hpp"
@@ -145,6 +149,125 @@ FftCompare compare_fft(std::size_t n, int iters) {
   return c;
 }
 
+// IF-synthesis kernel: the oscillator-bank recurrence vs the libm cos/sin
+// reference, on an IfSynthesizer-shaped workload (4 returns superposed into
+// one chirp's sample buffer).
+struct SynthCompare {
+  std::size_t n = 0;
+  double ref_msps = 0.0;  // reference throughput, Msamples/s (n·tones per call)
+  double osc_msps = 0.0;  // oscillator-bank throughput
+  double speedup = 0.0;
+  bool parity = false;  // max |osc − ref| < 1e-11 · amplitude
+};
+
+SynthCompare compare_synthesis(std::size_t n, int iters) {
+  constexpr std::size_t kTones = 4;
+  const double dt = 1.0 / 2e6;
+  const double freqs[kTones] = {87e3, 150e3, 212.5e3, 333e3};
+  const double amps[kTones] = {1e-3, 3e-4, 5e-4, 2e-4};
+  const double phases[kTones] = {0.1, 1.3, -2.2, 0.7};
+
+  dsp::CVec ref(n, dsp::cdouble(0.0, 0.0)), osc(n, dsp::cdouble(0.0, 0.0));
+  for (std::size_t t = 0; t < kTones; ++t) {
+    dsp::accumulate_tone_reference(std::span<dsp::cdouble>(ref), amps[t],
+                                   freqs[t], dt, phases[t]);
+    dsp::accumulate_tone(std::span<dsp::cdouble>(osc), amps[t], freqs[t], dt,
+                         phases[t]);
+  }
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_err = std::max(max_err, std::abs(osc[i] - ref[i]));
+
+  SynthCompare c;
+  c.n = n;
+  c.parity = max_err < 1e-11;
+  dsp::CVec buf(n);
+  const auto run = [&](auto&& kernel) {
+    return time_us(
+        [&] {
+          std::fill(buf.begin(), buf.end(), dsp::cdouble(0.0, 0.0));
+          for (std::size_t t = 0; t < kTones; ++t)
+            kernel(std::span<dsp::cdouble>(buf), amps[t], freqs[t], dt, phases[t]);
+          benchmark::DoNotOptimize(buf.data());
+        },
+        iters);
+  };
+  const double ref_us = run([](auto... a) { dsp::accumulate_tone_reference(a...); });
+  const double osc_us = run([](auto... a) { dsp::accumulate_tone(a...); });
+  const double samples = static_cast<double>(n * kTones);
+  c.ref_msps = samples / ref_us;  // samples/µs == Msamples/s
+  c.osc_msps = samples / osc_us;
+  c.speedup = ref_us / osc_us;
+  return c;
+}
+
+// Real-input FFT: rfft (half-size complex FFT + untangle) vs the
+// complex-promoted full transform, same one-sided bins out.
+struct RfftCompare {
+  std::size_t n = 0;
+  double complex_us = 0.0;
+  double rfft_us = 0.0;
+  double speedup = 0.0;
+  bool parity = false;  // max one-sided bin error < 1e-10
+};
+
+RfftCompare compare_rfft(std::size_t n, int iters) {
+  const auto x = random_real(n);
+  RfftCompare c;
+  c.n = n;
+  const auto full = dsp::fft_real(x);
+  const auto one = dsp::rfft(x);
+  double max_err = 0.0;
+  for (std::size_t k = 0; k < one.size(); ++k)
+    max_err = std::max(max_err, std::abs(one[k] - full[k]));
+  c.parity = max_err < 1e-10;
+  c.complex_us = time_us([&] { benchmark::DoNotOptimize(dsp::fft_real(x)); }, iters);
+  c.rfft_us = time_us([&] { benchmark::DoNotOptimize(dsp::rfft(x)); }, iters);
+  c.speedup = c.complex_us / c.rfft_us;
+  return c;
+}
+
+// Real-input periodogram: the PR-2-era implementation (window copy + full
+// complex fft_real_padded) vs dsp::periodogram's rfft + scratch-buffer path.
+struct PeriodogramCompare {
+  std::size_t n = 0, n_fft = 0;
+  double old_us = 0.0;
+  double new_us = 0.0;
+  double speedup = 0.0;
+  bool parity = false;  // max relative bin error < 1e-9
+};
+
+dsp::RVec periodogram_reference(std::span<const double> x, std::size_t n_fft) {
+  const auto w = dsp::make_window(dsp::WindowType::kHann, x.size());
+  const auto xw = dsp::apply_window(x, w);
+  const auto spec = dsp::fft_real_padded(xw, n_fft);
+  const double norm = dsp::window_sum(w);
+  dsp::RVec out(n_fft / 2 + 1);
+  for (std::size_t k = 0; k < out.size(); ++k)
+    out[k] = std::norm(spec[k]) / (norm * norm);
+  return out;
+}
+
+PeriodogramCompare compare_periodogram(std::size_t n, std::size_t n_fft, int iters) {
+  const auto x = random_real(n);
+  PeriodogramCompare c;
+  c.n = n;
+  c.n_fft = n_fft;
+  const auto ref = periodogram_reference(x, n_fft);
+  const auto fast = dsp::periodogram(x, n_fft);
+  double max_rel = 0.0, floor = 0.0;
+  for (double v : ref) floor = std::max(floor, v);
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    max_rel = std::max(max_rel, std::abs(fast[k] - ref[k]) / floor);
+  c.parity = max_rel < 1e-9;
+  c.old_us = time_us(
+      [&] { benchmark::DoNotOptimize(periodogram_reference(x, n_fft)); }, iters);
+  c.new_us =
+      time_us([&] { benchmark::DoNotOptimize(dsp::periodogram(x, n_fft)); }, iters);
+  c.speedup = c.old_us / c.new_us;
+  return c;
+}
+
 struct Frame {
   std::vector<dsp::CVec> samples;
   std::vector<rf::ChirpParams> chirps;
@@ -205,7 +328,9 @@ bool identical(const FrameResult& a, const FrameResult& b) {
          a.detection.mod_power == b.detection.mod_power;
 }
 
-void write_bench_json(const std::string& path) {
+/// Runs the harness, writes the JSON, and returns true iff every parity
+/// check (synthesis, rfft, periodogram, frame-pipeline bit-identity) passed.
+bool write_bench_json(const std::string& path) {
   std::printf("\n--- DSP engine harness (writing %s) ---\n", path.c_str());
 
   // Plan cache: repeated same-size FFTs, cached vs table-rebuilding reference.
@@ -216,6 +341,37 @@ void write_bench_json(const std::string& path) {
     std::printf("fft n=%-5zu uncached %8.2f us  cached %8.2f us  speedup %.2fx\n",
                 ffts.back().n, ffts.back().uncached_us, ffts.back().cached_us,
                 ffts.back().speedup);
+  }
+
+  // IF-synthesis throughput: sizes span a short CSSK chirp (120 samples at
+  // 2 MS/s), a long chirp, and a full tag-side period buffer.
+  std::vector<SynthCompare> synths;
+  for (std::size_t n : {120u, 400u, 4096u}) {
+    synths.push_back(compare_synthesis(n, 2000));
+    std::printf(
+        "synth n=%-5zu ref %7.1f Ms/s  osc %7.1f Ms/s  speedup %.2fx  parity %s\n",
+        synths.back().n, synths.back().ref_msps, synths.back().osc_msps,
+        synths.back().speedup, synths.back().parity ? "ok" : "FAIL");
+  }
+
+  // Real-input FFT vs complex-promoted transform.
+  std::vector<RfftCompare> rffts;
+  for (std::size_t n : {256u, 1024u, 4096u}) {
+    rffts.push_back(compare_rfft(n, 2000));
+    std::printf(
+        "rfft n=%-5zu complex %8.2f us  rfft %8.2f us  speedup %.2fx  parity %s\n",
+        rffts.back().n, rffts.back().complex_us, rffts.back().rfft_us,
+        rffts.back().speedup, rffts.back().parity ? "ok" : "FAIL");
+  }
+
+  // Real-input periodogram: detector-sized (slow-time) and estimator-sized.
+  std::vector<PeriodogramCompare> pgrams;
+  pgrams.push_back(compare_periodogram(256, 1024, 1000));
+  pgrams.push_back(compare_periodogram(2000, 4096, 500));
+  for (const auto& p : pgrams) {
+    std::printf(
+        "periodogram n=%-5zu nfft=%-5zu old %8.2f us  new %8.2f us  speedup %.2fx  parity %s\n",
+        p.n, p.n_fft, p.old_us, p.new_us, p.speedup, p.parity ? "ok" : "FAIL");
   }
 
   // Frame pipeline thread scaling (64 chirps, full range/Doppler processing).
@@ -284,6 +440,36 @@ void write_bench_json(const std::string& path) {
         << (i + 1 < ffts.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  out << "  \"synthesis\": [\n";
+  for (std::size_t i = 0; i < synths.size(); ++i) {
+    out << "    {\"n\": " << synths[i].n
+        << ", \"ref_msamples_per_s\": " << synths[i].ref_msps
+        << ", \"oscillator_msamples_per_s\": " << synths[i].osc_msps
+        << ", \"speedup\": " << synths[i].speedup
+        << ", \"parity\": " << (synths[i].parity ? "true" : "false") << "}"
+        << (i + 1 < synths.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"rfft\": [\n";
+  for (std::size_t i = 0; i < rffts.size(); ++i) {
+    out << "    {\"n\": " << rffts[i].n
+        << ", \"complex_us\": " << rffts[i].complex_us
+        << ", \"rfft_us\": " << rffts[i].rfft_us
+        << ", \"speedup\": " << rffts[i].speedup
+        << ", \"parity\": " << (rffts[i].parity ? "true" : "false") << "}"
+        << (i + 1 < rffts.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"periodogram\": [\n";
+  for (std::size_t i = 0; i < pgrams.size(); ++i) {
+    out << "    {\"n\": " << pgrams[i].n << ", \"n_fft\": " << pgrams[i].n_fft
+        << ", \"old_us\": " << pgrams[i].old_us
+        << ", \"new_us\": " << pgrams[i].new_us
+        << ", \"speedup\": " << pgrams[i].speedup
+        << ", \"parity\": " << (pgrams[i].parity ? "true" : "false") << "}"
+        << (i + 1 < pgrams.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
   out << "  \"plan_cache_stats\": {\"hits\": " << stats.hits
       << ", \"misses\": " << stats.misses << ", \"plans\": " << stats.plans
       << "},\n";
@@ -306,6 +492,12 @@ void write_bench_json(const std::string& path) {
   out << "    \"overhead_frac\": " << overhead_frac << "\n";
   out << "  }\n";
   out << "}\n";
+
+  bool all_parity = parity_ok;
+  for (const auto& s : synths) all_parity = all_parity && s.parity;
+  for (const auto& r : rffts) all_parity = all_parity && r.parity;
+  for (const auto& p : pgrams) all_parity = all_parity && p.parity;
+  return all_parity;
 }
 
 }  // namespace
@@ -315,6 +507,9 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  write_bench_json("BENCH_dsp.json");
-  return 0;
+  // Exit nonzero on any parity failure so CI can assert correctness of the
+  // fast paths without depending on (flaky) timing thresholds.
+  const bool ok = write_bench_json("BENCH_dsp.json");
+  if (!ok) std::fprintf(stderr, "PARITY FAILURE: see harness output above\n");
+  return ok ? 0 : 1;
 }

@@ -243,6 +243,14 @@ FftScratch& scratch() {
   return s;
 }
 
+/// Untangle twiddles e^{-j2πk/n}, k ∈ [0, n/2], for the real-input (rfft)
+/// split of an even-length transform; the inverse path conjugates them.
+struct RfftPlan {
+  std::size_t n = 0;
+  std::size_t h = 0;  // n/2
+  RVec tw_re, tw_im;
+};
+
 class PlanCache {
  public:
   std::shared_ptr<const FftPlan> get(std::size_t n) {
@@ -262,18 +270,46 @@ class PlanCache {
     return plans_.emplace(n, std::move(plan)).first->second;
   }
 
+  /// Untangle plan for an even-length real-input transform. Shares the
+  /// hit/miss counters with the complex plans: an rfft is one rplan lookup
+  /// plus one half-size complex plan lookup.
+  std::shared_ptr<const RfftPlan> get_rfft(std::size_t n) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = rplans_.find(n);
+      if (it != rplans_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    auto plan = std::make_shared<RfftPlan>();
+    plan->n = n;
+    plan->h = n / 2;
+    plan->tw_re.resize(plan->h + 1);
+    plan->tw_im.resize(plan->h + 1);
+    for (std::size_t k = 0; k <= plan->h; ++k) {
+      const double angle = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+      plan->tw_re[k] = std::cos(angle);
+      plan->tw_im[k] = std::sin(angle);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    return rplans_.emplace(n, std::move(plan)).first->second;
+  }
+
   FftPlanCacheStats stats() {
     FftPlanCacheStats s;
     s.hits = hits_.load(std::memory_order_relaxed);
     s.misses = misses_.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
-    s.plans = plans_.size();
+    s.plans = plans_.size() + rplans_.size();
     return s;
   }
 
   void clear() {
     std::lock_guard<std::mutex> lock(mu_);
     plans_.clear();
+    rplans_.clear();
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
   }
@@ -314,6 +350,7 @@ class PlanCache {
 
   std::mutex mu_;
   std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>> plans_;
+  std::unordered_map<std::size_t, std::shared_ptr<const RfftPlan>> rplans_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };
@@ -433,6 +470,121 @@ CVec fft_real_padded(std::span<const double> x, std::size_t n_fft) {
   const std::size_t n = std::min(x.size(), n_fft);
   for (std::size_t i = 0; i < n; ++i) cx[i] = cdouble(x[i], 0.0);
   return fft(cx);
+}
+
+// GCC's autovectorizer turns the interleaved complex untangle/re-tangle loops
+// below into shuffle-heavy SSE2 code that measures ~6x SLOWER than scalar on
+// the target hosts (verified with -fno-tree-vectorize on the bench harness).
+// The loops are short (h+1 iterations) and latency-bound; keep them scalar.
+#if defined(__GNUC__) && !defined(__clang__)
+#define BIS_SCALAR_LOOP __attribute__((optimize("no-tree-vectorize")))
+#else
+#define BIS_SCALAR_LOOP
+#endif
+
+BIS_SCALAR_LOOP CVec rfft(std::span<const double> x) {
+  const std::size_t n = x.size();
+  if (n == 0) return {};
+  if (n == 1) return {cdouble(x[0], 0.0)};
+  if (n % 2 != 0) {
+    // Odd length: no even/odd split — run the full complex transform and
+    // keep the one-sided bins (numerically identical to fft_real).
+    CVec full = fft_real(x);
+    full.resize(n / 2 + 1);
+    return full;
+  }
+  const std::size_t h = n / 2;
+  const auto plan = plan_cache().get_rfft(n);
+
+  // Pack even samples into re, odd into im: one h-point complex FFT carries
+  // both half-length real transforms.
+  thread_local CVec packed;
+  packed.resize(h);
+  for (std::size_t k = 0; k < h; ++k)
+    packed[k] = cdouble(x[2 * k], x[2 * k + 1]);
+  const CVec z = fft(packed);
+
+  // Untangle: E[k] = (Z[k] + conj(Z[h−k]))/2, O[k] = −j(Z[k] − conj(Z[h−k]))/2,
+  // X[k] = E[k] + e^{−j2πk/n}·O[k] for k ∈ [0, h] (Z indices mod h). Only
+  // k = 0 and k = h wrap, and both collapse to Z[0] with W^0 = 1, W^h = −1:
+  // X[0] = Re Z[0] + Im Z[0], X[h] = Re Z[0] − Im Z[0], both purely real.
+  // Handling them outside the loop keeps the hot path free of index modulos.
+  CVec out(h + 1);
+  out[0] = cdouble(z[0].real() + z[0].imag(), 0.0);
+  out[h] = cdouble(z[0].real() - z[0].imag(), 0.0);
+  const double* __restrict twr = plan->tw_re.data();
+  const double* __restrict twi = plan->tw_im.data();
+  for (std::size_t k = 1; k < h; ++k) {
+    const cdouble a = z[k];
+    const cdouble b = std::conj(z[h - k]);
+    const double er = 0.5 * (a.real() + b.real());
+    const double ei = 0.5 * (a.imag() + b.imag());
+    const double dr = a.real() - b.real();
+    const double di = a.imag() - b.imag();
+    const double od = 0.5 * di;    // O = (di/2, −dr/2)
+    const double oi = -0.5 * dr;
+    out[k] = cdouble(er + twr[k] * od - twi[k] * oi,
+                     ei + twr[k] * oi + twi[k] * od);
+  }
+  return out;
+}
+
+CVec rfft_padded(std::span<const double> x, std::size_t n_fft) {
+  BIS_CHECK(n_fft > 0);
+  if (x.size() == n_fft) return rfft(x);
+  thread_local RVec padded;
+  padded.assign(n_fft, 0.0);
+  const std::size_t n = std::min(x.size(), n_fft);
+  for (std::size_t i = 0; i < n; ++i) padded[i] = x[i];
+  return rfft(padded);
+}
+
+BIS_SCALAR_LOOP RVec irfft(std::span<const cdouble> spectrum, std::size_t n) {
+  BIS_CHECK(n > 0);
+  BIS_CHECK(spectrum.size() == n / 2 + 1);
+  if (n == 1) return {spectrum[0].real()};
+  if (n % 2 != 0) {
+    // Odd length: rebuild the conjugate-symmetric full spectrum and take the
+    // real part of the complex inverse.
+    CVec full(n);
+    full[0] = spectrum[0];
+    for (std::size_t k = 1; k <= n / 2; ++k) {
+      full[k] = spectrum[k];
+      full[n - k] = std::conj(spectrum[k]);
+    }
+    const CVec z = ifft(full);
+    RVec out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = z[i].real();
+    return out;
+  }
+  const std::size_t h = n / 2;
+  const auto plan = plan_cache().get_rfft(n);
+
+  // Re-tangle into the packed half-size spectrum: Z[k] = E[k] + j·O[k] with
+  // E[k] = (X[k] + conj(X[h−k]))/2, O[k] = e^{+j2πk/n}·(X[k] − conj(X[h−k]))/2.
+  thread_local CVec packed;
+  packed.resize(h);
+  const double* __restrict twr = plan->tw_re.data();
+  const double* __restrict twi = plan->tw_im.data();
+  for (std::size_t k = 0; k < h; ++k) {
+    const cdouble a = spectrum[k];
+    const cdouble b = std::conj(spectrum[h - k]);
+    const double er = 0.5 * (a.real() + b.real());
+    const double ei = 0.5 * (a.imag() + b.imag());
+    const double hr = 0.5 * (a.real() - b.real());
+    const double hi = 0.5 * (a.imag() - b.imag());
+    // conj(W^k)·(hr, hi): the plan stores forward twiddles e^{−j2πk/n}.
+    const double orr = hr * twr[k] + hi * twi[k];
+    const double oii = hi * twr[k] - hr * twi[k];
+    packed[k] = cdouble(er - oii, ei + orr);  // E + j·O
+  }
+  const CVec z = ifft(packed);  // includes the 1/h scaling
+  RVec out(n);
+  for (std::size_t k = 0; k < h; ++k) {
+    out[2 * k] = z[k].real();
+    out[2 * k + 1] = z[k].imag();
+  }
+  return out;
 }
 
 double fft_bin_frequency(std::size_t k, std::size_t n, double fs) {

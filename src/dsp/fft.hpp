@@ -46,6 +46,25 @@ CVec fft_real(std::span<const double> x);
 CVec fft_padded(std::span<const cdouble> x, std::size_t n_fft);
 CVec fft_real_padded(std::span<const double> x, std::size_t n_fft);
 
+/// True real-input FFT: the one-sided spectrum (n/2+1 bins, bin k ↦ k·fs/n)
+/// of a length-n real signal. For even n this runs an n/2-point complex FFT
+/// on even/odd-packed samples plus an O(n) untangle — roughly half the work
+/// of the full complex transform — with the untangle twiddles memoized in
+/// the FFT plan cache. Odd n falls back to the full complex transform
+/// (identical numerics to fft_real). Bins agree with fft_real(x)[0..n/2]
+/// to ~1e-13 absolute.
+CVec rfft(std::span<const double> x);
+
+/// rfft of the signal zero-padded (or truncated) to @p n_fft points.
+CVec rfft_padded(std::span<const double> x, std::size_t n_fft);
+
+/// Inverse of rfft: reconstruct the length-n real signal from its one-sided
+/// spectrum (spectrum.size() must be n/2+1). The upper half is implied by
+/// conjugate symmetry; any asymmetric content is discarded exactly as
+/// taking the real part of a full ifft would. Includes the 1/n scaling.
+/// Used for fast matched filtering / Wiener–Khinchin autocorrelation.
+RVec irfft(std::span<const cdouble> spectrum, std::size_t n);
+
 /// Reference transforms that rebuild every table on each call — the
 /// pre-plan-cache implementation, kept for parity tests and benchmarks.
 /// fft()/ifft() must agree with these bit-for-bit.

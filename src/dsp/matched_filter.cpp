@@ -1,9 +1,12 @@
 #include "dsp/matched_filter.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
 #include "common/constants.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/types.hpp"
 
 namespace bis::dsp {
 
@@ -20,6 +23,28 @@ double normalized_correlation(std::span<const double> a, std::span<const double>
 }
 
 std::vector<double> cross_correlate(std::span<const double> x, std::span<const double> h) {
+  BIS_CHECK(!x.empty() && !h.empty());
+  const std::size_t nx = x.size();
+  const std::size_t nh = h.size();
+  // The sliding dot product is conv(x, reverse(h)); above a modest size the
+  // rfft/irfft route (three real transforms) beats the O(Nx·Nh) scan.
+  if (nx * nh >= 4096) {
+    const std::size_t n_full = nx + nh - 1;
+    const std::size_t n_fft = next_power_of_two(n_full);
+    const auto xf = rfft_padded(x, n_fft);
+    RVec h_rev(h.rbegin(), h.rend());
+    const auto hf = rfft_padded(h_rev, n_fft);
+    CVec prod(xf.size());
+    for (std::size_t k = 0; k < prod.size(); ++k) prod[k] = xf[k] * hf[k];
+    auto full = irfft(prod, n_fft);
+    full.resize(n_full);
+    return full;
+  }
+  return cross_correlate_direct(x, h);
+}
+
+std::vector<double> cross_correlate_direct(std::span<const double> x,
+                                           std::span<const double> h) {
   BIS_CHECK(!x.empty() && !h.empty());
   const std::size_t nx = x.size();
   const std::size_t nh = h.size();

@@ -8,18 +8,46 @@
 #include "dsp/peak.hpp"
 
 namespace bis::dsp {
+namespace {
+
+/// Thread-local windowed+padded input for the real-FFT spectral estimators:
+/// the per-call window multiply and zero pad reuse one buffer instead of
+/// allocating two temporaries per periodogram.
+RVec& spectrum_scratch() {
+  thread_local RVec buf;
+  return buf;
+}
+
+/// |rfft(x·w zero-padded to n_fft)|² / (Σw)² accumulated (@p accumulate) or
+/// assigned into @p out (size n_fft/2+1). The shared core of periodogram and
+/// the restructured single-pass welch.
+void windowed_power_spectrum(std::span<const double> x, std::span<const double> w,
+                             std::size_t n_fft, double inv_norm_sq, RVec& out,
+                             bool accumulate) {
+  RVec& buf = spectrum_scratch();
+  buf.assign(n_fft, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = x[i] * w[i];
+  const auto spec = rfft(buf);
+  if (accumulate) {
+    for (std::size_t k = 0; k < out.size(); ++k)
+      out[k] += std::norm(spec[k]) * inv_norm_sq;
+  } else {
+    for (std::size_t k = 0; k < out.size(); ++k)
+      out[k] = std::norm(spec[k]) * inv_norm_sq;
+  }
+}
+
+}  // namespace
 
 RVec periodogram(std::span<const double> x, std::size_t n_fft, WindowType window) {
   BIS_CHECK(!x.empty());
   BIS_CHECK(n_fft >= x.size());
-  const auto w = make_window(window, x.size());
-  const auto xw = apply_window(x, w);
-  const auto spec = fft_real_padded(xw, n_fft);
-  const double norm = window_sum(w);
+  const auto w = cached_window(window, x.size());
+  const double norm = window_sum(*w);
   BIS_CHECK(norm > 0.0);
   RVec out(n_fft / 2 + 1);
-  for (std::size_t k = 0; k < out.size(); ++k)
-    out[k] = std::norm(spec[k]) / (norm * norm);
+  windowed_power_spectrum(x, *w, n_fft, 1.0 / (norm * norm), out,
+                          /*accumulate=*/false);
   return out;
 }
 
@@ -27,13 +55,19 @@ RVec welch(std::span<const double> x, std::size_t segment_len, std::size_t n_fft
            WindowType window) {
   BIS_CHECK(segment_len > 0);
   BIS_CHECK(x.size() >= segment_len);
+  BIS_CHECK(n_fft >= segment_len);
   const std::size_t hop = std::max<std::size_t>(1, segment_len / 2);
+  // Window, normalization, and FFT plan are per-length invariants: resolve
+  // them once here instead of once per segment.
+  const auto w = cached_window(window, segment_len);
+  const double norm = window_sum(*w);
+  BIS_CHECK(norm > 0.0);
+  const double inv_norm_sq = 1.0 / (norm * norm);
   RVec acc(n_fft / 2 + 1, 0.0);
   std::size_t count = 0;
   for (std::size_t start = 0; start + segment_len <= x.size(); start += hop) {
-    const auto seg = x.subspan(start, segment_len);
-    const auto p = periodogram(seg, n_fft, window);
-    for (std::size_t k = 0; k < acc.size(); ++k) acc[k] += p[k];
+    windowed_power_spectrum(x.subspan(start, segment_len), *w, n_fft,
+                            inv_norm_sq, acc, /*accumulate=*/true);
     ++count;
   }
   BIS_CHECK(count > 0);
@@ -49,8 +83,16 @@ Spectrogram spectrogram(std::span<const double> x, double fs, std::size_t window
   Spectrogram sg;
   sg.frame_interval_s = static_cast<double>(hop) / fs;
   sg.bin_hz = fs / static_cast<double>(n_fft);
-  for (std::size_t start = 0; start + window_len <= x.size(); start += hop)
-    sg.frames.push_back(periodogram(x.subspan(start, window_len), n_fft, window));
+  const auto w = cached_window(window, window_len);
+  const double norm = window_sum(*w);
+  BIS_CHECK(norm > 0.0);
+  const double inv_norm_sq = 1.0 / (norm * norm);
+  for (std::size_t start = 0; start + window_len <= x.size(); start += hop) {
+    RVec frame(n_fft / 2 + 1);
+    windowed_power_spectrum(x.subspan(start, window_len), *w, n_fft,
+                            inv_norm_sq, frame, /*accumulate=*/false);
+    sg.frames.push_back(std::move(frame));
+  }
   return sg;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/constants.hpp"
+#include "obs/metrics.hpp"
 
 namespace bis::dsp {
 
@@ -84,14 +85,22 @@ WindowCache& window_cache() {
 }  // namespace
 
 WindowPtr cached_window(WindowType type, std::size_t n, double kaiser_beta) {
+  static obs::Counter& hits =
+      obs::Registry::instance().counter("bis.dsp.window_cache_hits");
+  static obs::Counter& misses =
+      obs::Registry::instance().counter("bis.dsp.window_cache_misses");
   const WindowKey key{static_cast<int>(type), n,
                       type == WindowType::kKaiser ? kaiser_beta : 0.0};
   auto& cache = window_cache();
   {
     std::lock_guard<std::mutex> lock(cache.mu);
     auto it = cache.windows.find(key);
-    if (it != cache.windows.end()) return it->second;
+    if (it != cache.windows.end()) {
+      hits.add();
+      return it->second;
+    }
   }
+  misses.add();
   // Build outside the lock; a racing builder computes identical values, and
   // the first insert wins so all callers converge on one copy.
   auto w = std::make_shared<const std::vector<double>>(

@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/constants.hpp"
 #include "common/units.hpp"
+#include "dsp/oscillator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -49,12 +50,10 @@ dsp::CVec IfSynthesizer::synthesize(const rf::ChirpParams& chirp,
     const double phi0 = kTwoPi * (chirp.start_frequency_hz * tau -
                                   chirp.slope() * tau * tau / 2.0) +
                         ret.phase_rad + pn;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double t = static_cast<double>(i) * dt;
-      const double phase = kTwoPi * f_if * t + phi0;
-      out[i] += dsp::cdouble(ret.amplitude_v * std::cos(phase),
-                             ret.amplitude_v * std::sin(phase));
-    }
+    // Oscillator-bank kernel: one complex multiply per sample instead of a
+    // cos/sin pair, re-anchored to the exact phase periodically.
+    dsp::accumulate_tone(std::span<dsp::cdouble>(out), ret.amplitude_v, f_if,
+                         dt, phi0);
   }
 
   rf::add_awgn(std::span<dsp::cdouble>(out), noise_sigma_, rng_);

@@ -39,8 +39,10 @@ dsp::RVec TagDetector::slow_time_spectrum(const AlignedProfiles& profiles,
   const auto xw = dsp::apply_window(centred, *w);
   const std::size_t n_fft =
       dsp::next_power_of_two(centred.size()) * config_.slow_time_pad_factor;
-  const auto spec = dsp::fft_real_padded(xw, n_fft);
-  dsp::RVec power(n_fft / 2 + 1);
+  // Real-input fast path: the one-sided rfft is all this ever read from the
+  // full complex transform.
+  const auto spec = dsp::rfft_padded(xw, n_fft);
+  dsp::RVec power(spec.size());
   for (std::size_t k = 0; k < power.size(); ++k) power[k] = std::norm(spec[k]);
   return power;
 }

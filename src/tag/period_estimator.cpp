@@ -42,13 +42,13 @@ std::optional<double> PeriodEstimator::estimate_acf(const dsp::RVec& stream) con
   x = dsp::remove_dc(x);
 
   // Autocorrelation via FFT (Wiener–Khinchin), zero-padded to avoid
-  // circular wraparound.
+  // circular wraparound. The one-sided power spectrum of a real signal is
+  // real and even, so rfft + irfft does the whole round trip at half size.
   const std::size_t n_fft = dsp::next_power_of_two(2 * n);
-  auto spec = dsp::fft_real_padded(x, n_fft);
+  auto spec = dsp::rfft_padded(x, n_fft);
   for (auto& v : spec) v = dsp::cdouble(std::norm(v), 0.0);
-  const auto acf_c = dsp::ifft(spec);
-  dsp::RVec acf(n);
-  for (std::size_t i = 0; i < n; ++i) acf[i] = acf_c[i].real();
+  auto acf = dsp::irfft(spec, n_fft);
+  acf.resize(n);
   if (acf[0] <= 0.0) return std::nullopt;
 
   const auto lag_min = static_cast<std::size_t>(config_.min_period_s * fs);

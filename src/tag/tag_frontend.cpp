@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/constants.hpp"
 #include "common/units.hpp"
+#include "dsp/oscillator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -52,6 +53,14 @@ double TagFrontend::output_noise_rms() const {
 dsp::RVec TagFrontend::receive_chirp_period(const rf::ChirpParams& chirp,
                                             std::span<const IncidentPath> paths,
                                             bool absorptive) {
+  dsp::RVec out(adc_.samples_for(chirp.period()), 0.0);
+  synthesize_period(chirp, paths, absorptive, out);
+  return out;
+}
+
+void TagFrontend::synthesize_period(const rf::ChirpParams& chirp,
+                                    std::span<const IncidentPath> paths,
+                                    bool absorptive, std::span<double> out) {
   BIS_CHECK(chirp.valid());
   switch_.set_state(absorptive ? rf::SwitchState::kAbsorptive
                                : rf::SwitchState::kReflective);
@@ -88,24 +97,25 @@ dsp::RVec TagFrontend::receive_chirp_period(const rf::ChirpParams& chirp,
 
   // Synthesize the ADC stream for the full period: tones + DC during the
   // active sweep, detector noise throughout, PGA, quantization.
-  const std::size_t n_total = adc_.samples_for(chirp.period());
+  const std::size_t n_total = out.size();
+  BIS_CHECK(n_total == adc_.samples_for(chirp.period()));
   const std::size_t n_active = std::min(adc_.samples_for(chirp.duration_s), n_total);
   const double dt = 1.0 / adc_.sample_rate();
   const double noise_rms = envelope_.output_noise_rms(adc_.sample_rate() / 2.0);
 
-  dsp::RVec out(n_total, 0.0);
-  for (std::size_t i = 0; i < n_active; ++i) {
-    const double t = static_cast<double>(i) * dt;
-    double v = mixed.dc;
-    for (const auto& tone : mixed.tones)
-      v += tone.amplitude * std::cos(kTwoPi * tone.frequency_hz * t + tone.phase_rad);
-    out[i] = v;
-  }
+  const std::span<double> active = out.first(n_active);
+  std::fill(active.begin(), active.end(), mixed.dc);
+  std::fill(out.begin() + static_cast<long>(n_active), out.end(), 0.0);
+  // Oscillator bank: per tone, one complex multiply per sample replaces the
+  // cos call; accumulation order (dc, then tones in order) matches the old
+  // per-sample loop.
+  for (const auto& tone : mixed.tones)
+    dsp::accumulate_tone(active, tone.amplitude, tone.frequency_hz, dt,
+                         tone.phase_rad);
   for (std::size_t i = 0; i < n_total; ++i) {
     out[i] = gain_ * (out[i] + rng_.gaussian(0.0, noise_rms));
     out[i] = adc_.quantize(out[i]);
   }
-  return out;
 }
 
 dsp::RVec TagFrontend::receive_frame(std::span<const rf::ChirpParams> chirps,
@@ -116,10 +126,18 @@ dsp::RVec TagFrontend::receive_frame(std::span<const rf::ChirpParams> chirps,
   static obs::Counter& chirps_received =
       obs::Registry::instance().counter("bis.tag.chirps_received");
   chirps_received.add(chirps.size());
-  dsp::RVec stream;
+  // Pre-size the stream from the summed per-period sample counts so each
+  // period writes straight into its slice (the old stream.insert growth
+  // re-copied the whole prefix every few chirps).
+  std::size_t total = 0;
+  for (const auto& chirp : chirps) total += adc_.samples_for(chirp.period());
+  dsp::RVec stream(total, 0.0);
+  std::size_t offset = 0;
   for (std::size_t i = 0; i < chirps.size(); ++i) {
-    const auto chunk = receive_chirp_period(chirps[i], paths, absorptive[i]);
-    stream.insert(stream.end(), chunk.begin(), chunk.end());
+    const std::size_t n = adc_.samples_for(chirps[i].period());
+    synthesize_period(chirps[i], paths, absorptive[i],
+                      std::span<double>(stream).subspan(offset, n));
+    offset += n;
   }
   return stream;
 }

@@ -57,7 +57,10 @@ class TagFrontend {
                                  bool absorptive);
 
   /// Convenience: a whole frame of chirps with per-chirp switch states
-  /// (states.size() must equal chirps.size(); true = absorptive).
+  /// (states.size() must equal chirps.size(); true = absorptive). The output
+  /// stream is sized up front from the summed per-chirp sample counts and
+  /// each period is synthesized directly into its slice — no repeated
+  /// reallocation/copy growth on the hot loop.
   dsp::RVec receive_frame(std::span<const rf::ChirpParams> chirps,
                           std::span<const IncidentPath> paths,
                           std::span<const bool> absorptive);
@@ -77,6 +80,13 @@ class TagFrontend {
   const TagFrontendConfig& config() const { return config_; }
 
  private:
+  /// Synthesize one chirp period into @p out, which must hold exactly
+  /// adc_.samples_for(chirp.period()) samples. Shared by the per-chirp and
+  /// whole-frame entry points.
+  void synthesize_period(const rf::ChirpParams& chirp,
+                         std::span<const IncidentPath> paths, bool absorptive,
+                         std::span<double> out);
+
   TagFrontendConfig config_;
   rf::DelayLinePair delay_line_;
   rf::EnvelopeDetector envelope_;

@@ -46,6 +46,22 @@ TEST(CrossCorrelate, FindsKnownLag) {
   EXPECT_EQ(static_cast<long long>(best) - 2, 17);
 }
 
+TEST(CrossCorrelate, FftPathMatchesDirect) {
+  // Above the size threshold cross_correlate routes through rfft/irfft;
+  // the result must match the O(Nx·Nh) scan to numerical precision.
+  Rng rng(9);
+  std::vector<double> x(300), h(40);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto& v : h) v = rng.gaussian();
+  const auto fast = cross_correlate(x, h);  // 300·40 = 12000 ≥ threshold
+  const auto ref = cross_correlate_direct(x, h);
+  ASSERT_EQ(fast.size(), ref.size());
+  double scale = 0.0;
+  for (double v : ref) scale = std::max(scale, std::abs(v));
+  for (std::size_t i = 0; i < fast.size(); ++i)
+    EXPECT_NEAR(fast[i], ref[i], 1e-10 * scale) << "lag index " << i;
+}
+
 TEST(SquareWaveSignature, PlacesOddHarmonics) {
   const double period = 120e-6;
   const double f_mod = 800.0;
