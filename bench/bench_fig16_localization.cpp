@@ -4,37 +4,53 @@
 /// Paper shape: centimetre-level accuracy in both conditions; downlink
 /// communication has minimal impact (sometimes slightly better thanks to
 /// slope diversity).
+///
+/// Runs through core::SweepRunner: one localization sweep over the distance
+/// grid per condition (fixed slope vs comm-on), each distance a parallel
+/// grid point with its own jump-separated RNG substream.
 
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/experiments.hpp"
+#include "core/sweep_runner.hpp"
 
 int main() {
   using namespace bis;
   bench::banner("Fig. 16", "localization error vs distance, comm off/on",
                 "centimetre-level in both; communication has minimal impact");
 
+  const std::vector<double> distances = {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+  const core::SystemConfig base;
+
+  const auto sweep = [&](bool downlink_active) {
+    core::SweepOptions opts;
+    opts.mode = core::SweepMode::kLocalization;
+    opts.master_seed = 5000 + (downlink_active ? 1 : 0);
+    opts.workload.frames = 12;
+    opts.workload.downlink_active = downlink_active;
+    return core::SweepRunner(opts).run(core::range_sweep_grid(base, distances));
+  };
+  const auto off = sweep(false);
+  const auto on = sweep(true);
+
   std::vector<std::vector<std::string>> rows;
   const std::vector<std::string> cols = {
       "distance [m]",      "fixed median [cm]", "fixed-slope p90 [cm]",
       "comm-on median [cm]", "comm-on p90 [cm]",      "detect (fixed/comm)"};
-  for (double r : {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}) {
-    core::SystemConfig cfg;
-    cfg.tag_range_m = r;
-    cfg.seed = 5000 + static_cast<std::uint64_t>(r * 10);
-    const auto off = core::measure_localization(cfg, 12, false);
-    const auto on = core::measure_localization(cfg, 12, true);
-    rows.push_back({format_double(r, 1), format_double(off.median_error_m * 100, 2),
-                    format_double(off.p90_error_m * 100, 2),
-                    format_double(on.median_error_m * 100, 2),
-                    format_double(on.p90_error_m * 100, 2),
-                    format_double(off.detection_rate, 2) + "/" +
-                        format_double(on.detection_rate, 2)});
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    const auto& o = off.points[i].localization;
+    const auto& c = on.points[i].localization;
+    rows.push_back({format_double(distances[i], 1),
+                    format_double(o.median_error_m * 100, 2),
+                    format_double(o.p90_error_m * 100, 2),
+                    format_double(c.median_error_m * 100, 2),
+                    format_double(c.p90_error_m * 100, 2),
+                    format_double(o.detection_rate, 2) + "/" +
+                        format_double(c.detection_rate, 2)});
     std::printf("r=%4.1f m: fixed-slope %.2f cm (p90 %.2f) | comm-on %.2f cm "
                 "(p90 %.2f)\n",
-                r, off.median_error_m * 100, off.p90_error_m * 100,
-                on.median_error_m * 100, on.p90_error_m * 100);
+                distances[i], o.median_error_m * 100, o.p90_error_m * 100,
+                c.median_error_m * 100, c.p90_error_m * 100);
   }
   std::printf("\n");
   bench::print_table(cols, rows);

@@ -1,0 +1,266 @@
+/// Sweep-engine harness: measures the PR's three performance claims and
+/// verifies its reproducibility contract, writing BENCH_sweep.json:
+///   1. batched ziggurat AWGN (rf::add_awgn / Rng::fill_gaussian) vs the
+///      per-sample Box–Muller loop it replaced,
+///   2. cached RegridPlan replay vs per-bin-searching regrid_linear on a
+///      CSSK-shaped frame (3 distinct slope axes cycling over 64 chirps),
+///   3. SweepRunner thread scaling at 1/2/4 threads with the 1-vs-N
+///      bit-identity check (sweep_to_json equality).
+/// Exits nonzero on any parity/determinism failure so CI asserts
+/// correctness without depending on flaky timing thresholds. Thread-scaling
+/// rows are flagged invalid when the host has fewer cores than the row.
+///
+/// CI determinism mode: `bench_sweep --sweep-json PATH [--sweep-threads N]`
+/// runs only the reference sweep and writes its deterministic JSON to PATH;
+/// the workflow runs it twice with different thread counts and diffs.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/sweep_runner.hpp"
+#include "dsp/resample.hpp"
+#include "rf/noise.hpp"
+
+namespace {
+
+using namespace bis;
+using Clock = std::chrono::steady_clock;
+
+template <typename Fn>
+double time_us(Fn&& fn, int iters) {
+  fn();  // warmup (first-touch allocation, cache warming)
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  return std::chrono::duration<double>(Clock::now() - t0).count() * 1e6 / iters;
+}
+
+// Opaque sink so the optimizer cannot delete the benchmarked work.
+volatile double g_sink = 0.0;
+
+// ---------------------------------------------------------------------------
+// 1. Batched AWGN vs scalar Box–Muller
+
+struct AwgnCompare {
+  std::size_t n = 0;
+  double scalar_msps = 0.0;   ///< Box–Muller per-sample loop.
+  double batched_msps = 0.0;  ///< rf::add_awgn (chunked ziggurat fill).
+  double speedup = 0.0;
+};
+
+AwgnCompare compare_awgn(std::size_t n, int iters) {
+  dsp::RVec buf(n, 0.0);
+  const double sigma = 0.3;
+  AwgnCompare c;
+  c.n = n;
+  Rng scalar_rng(7);
+  const double scalar_us = time_us(
+      [&] {
+        // The pre-sweep-engine implementation: one Box–Muller draw per sample.
+        for (auto& v : buf) v += sigma * scalar_rng.gaussian();
+        g_sink = buf[0];
+      },
+      iters);
+  Rng batched_rng(7);
+  const double batched_us = time_us(
+      [&] {
+        rf::add_awgn(std::span<double>(buf), sigma, batched_rng);
+        g_sink = buf[0];
+      },
+      iters);
+  c.scalar_msps = static_cast<double>(n) / scalar_us;  // samples/µs == Ms/s
+  c.batched_msps = static_cast<double>(n) / batched_us;
+  c.speedup = scalar_us / batched_us;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// 2. RegridPlan vs regrid_linear on a CSSK frame
+
+struct RegridCompare {
+  std::size_t rows = 0;
+  std::size_t bins = 0;
+  double linear_us = 0.0;  ///< Per-bin interval search, every chirp.
+  double plan_us = 0.0;    ///< Cached stencil replay.
+  double speedup = 0.0;
+  bool parity = false;  ///< Plan output bit-identical to regrid_linear.
+};
+
+RegridCompare compare_regrid(std::size_t n_rows, std::size_t n_bins, int iters) {
+  // CSSK: a handful of distinct slopes → a handful of distinct range axes
+  // cycling over the frame's chirps; one common target grid.
+  const double max_ranges[] = {12.0, 15.0, 19.2};
+  std::vector<std::vector<double>> axes;
+  for (double r : max_ranges) axes.push_back(dsp::linspace(0.0, r, n_bins));
+  const auto grid = dsp::linspace(0.0, 12.0, n_bins);
+
+  Rng rng(3);
+  std::vector<dsp::CVec> rows(n_rows);
+  for (auto& row : rows) {
+    row.resize(n_bins);
+    for (auto& v : row) v = dsp::cdouble(rng.gaussian(), rng.gaussian());
+  }
+
+  RegridCompare c;
+  c.rows = n_rows;
+  c.bins = n_bins;
+
+  // Parity first: the stencil replay must reproduce the searched path
+  // bit-for-bit on every row.
+  dsp::regrid_plan_cache_clear();
+  c.parity = true;
+  std::vector<dsp::cdouble> out(grid.size());
+  for (std::size_t m = 0; m < n_rows; ++m) {
+    const auto& axis = axes[m % axes.size()];
+    const auto ref = dsp::regrid_linear(axis, rows[m], grid);
+    const auto plan = dsp::cached_regrid_plan(axis, grid);
+    plan->apply(rows[m], out);
+    for (std::size_t q = 0; q < out.size(); ++q)
+      c.parity = c.parity && out[q] == ref[q];
+  }
+
+  c.linear_us = time_us(
+      [&] {
+        for (std::size_t m = 0; m < n_rows; ++m) {
+          const auto& axis = axes[m % axes.size()];
+          const auto r = dsp::regrid_linear(axis, rows[m], grid);
+          g_sink = r[0].real();
+        }
+      },
+      iters);
+  c.plan_us = time_us(
+      [&] {
+        for (std::size_t m = 0; m < n_rows; ++m) {
+          const auto& axis = axes[m % axes.size()];
+          const auto plan = dsp::cached_regrid_plan(axis, grid);
+          plan->apply(rows[m], out);
+          g_sink = out[0].real();
+        }
+      },
+      iters);
+  c.speedup = c.linear_us / c.plan_us;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// 3. Sweep thread scaling + 1-vs-N bit identity
+
+core::SweepOptions sweep_options(std::size_t threads) {
+  core::SweepOptions opts;
+  opts.mode = core::SweepMode::kUplink;
+  opts.master_seed = 1234;
+  opts.threads = threads;
+  opts.workload.frames = 2;
+  opts.workload.bits_per_frame = 4;
+  opts.workload.downlink_active = true;
+  return opts;
+}
+
+std::vector<core::SweepPoint> sweep_grid() {
+  core::SystemConfig base;
+  base.tag.node.uplink.chirps_per_symbol = 32;
+  const std::vector<double> ranges = {1.5, 3.0};
+  return core::range_sweep_grid(base, ranges, /*repeats=*/2);
+}
+
+bool write_bench_json(const std::string& path) {
+  std::printf("--- sweep engine harness (writing %s) ---\n", path.c_str());
+
+  const AwgnCompare awgn = compare_awgn(1 << 16, 200);
+  std::printf("awgn n=%zu: scalar %6.1f Ms/s  batched %6.1f Ms/s  speedup %.2fx\n",
+              awgn.n, awgn.scalar_msps, awgn.batched_msps, awgn.speedup);
+
+  const RegridCompare regrid = compare_regrid(64, 256, 500);
+  std::printf(
+      "regrid 64x256: linear %8.2f us  plan %8.2f us  speedup %.2fx  parity %s\n",
+      regrid.linear_us, regrid.plan_us, regrid.speedup,
+      regrid.parity ? "ok" : "FAIL");
+
+  const auto grid = sweep_grid();
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  const std::vector<std::size_t> thread_counts = {1, 2, 4};
+  const auto reference = core::SweepRunner(sweep_options(1)).run(grid);
+  const std::string reference_json = core::sweep_to_json(reference);
+  std::vector<double> sweep_ms;
+  std::vector<bool> row_valid;
+  bool parity_ok = true;
+  for (std::size_t nt : thread_counts) {
+    const core::SweepRunner runner(sweep_options(nt));
+    parity_ok = parity_ok && core::sweep_to_json(runner.run(grid)) == reference_json;
+    const double us = time_us([&] { runner.run(grid); }, 2);
+    sweep_ms.push_back(us / 1e3);
+    row_valid.push_back(hardware_threads >= nt);
+    std::printf("sweep %zu points, %zu thread(s): %8.1f ms  (speedup %.2fx)%s\n",
+                grid.size(), nt, sweep_ms.back(),
+                sweep_ms.front() / sweep_ms.back(),
+                row_valid.back() ? "" : "  [invalid: oversubscribed]");
+  }
+  std::printf("sweep results bit-identical across thread counts: %s\n",
+              parity_ok ? "yes" : "NO");
+
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"hardware_threads\": " << hardware_threads << ",\n";
+  out << "  \"awgn\": {\"n\": " << awgn.n
+      << ", \"scalar_msamples_per_s\": " << awgn.scalar_msps
+      << ", \"batched_msamples_per_s\": " << awgn.batched_msps
+      << ", \"speedup\": " << awgn.speedup << "},\n";
+  out << "  \"regrid\": {\"rows\": " << regrid.rows
+      << ", \"bins\": " << regrid.bins << ", \"linear_us\": " << regrid.linear_us
+      << ", \"plan_us\": " << regrid.plan_us << ", \"speedup\": " << regrid.speedup
+      << ", \"parity\": " << (regrid.parity ? "true" : "false") << "},\n";
+  out << "  \"sweep\": {\n";
+  out << "    \"points\": " << grid.size() << ",\n";
+  out << "    \"scaling\": [\n";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    out << "      {\"threads\": " << thread_counts[i]
+        << ", \"sweep_ms\": " << sweep_ms[i]
+        << ", \"speedup\": " << sweep_ms.front() / sweep_ms[i]
+        << ", \"valid\": " << (row_valid[i] ? "true" : "false") << "}"
+        << (i + 1 < thread_counts.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n";
+  out << "    \"parity_bit_identical\": " << (parity_ok ? "true" : "false")
+      << "\n";
+  out << "  }\n";
+  out << "}\n";
+
+  return regrid.parity && parity_ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // CI determinism mode: write only the (deterministic) sweep JSON.
+  std::string sweep_json_path;
+  std::size_t sweep_threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep-json") == 0 && i + 1 < argc) {
+      sweep_json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep-threads") == 0 && i + 1 < argc) {
+      sweep_threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (!sweep_json_path.empty()) {
+    const auto result =
+        core::SweepRunner(sweep_options(sweep_threads)).run(sweep_grid());
+    std::ofstream out(sweep_json_path);
+    out << core::sweep_to_json(result) << "\n";
+    std::printf("sweep (%zu thread(s)) written to %s\n", sweep_threads,
+                sweep_json_path.c_str());
+    return 0;
+  }
+
+  const bool ok = write_bench_json("BENCH_sweep.json");
+  if (!ok) std::fprintf(stderr, "PARITY FAILURE: see harness output above\n");
+  return ok ? 0 : 1;
+}

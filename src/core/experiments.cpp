@@ -4,13 +4,31 @@
 #include "common/stats.hpp"
 
 namespace bis::core {
+namespace {
+
+/// Build the per-point simulator, reusing a precomputed alphabet when the
+/// sweep runner supplies one (guaranteed copy elision per branch).
+LinkSimulator make_simulator(const SystemConfig& config,
+                             const phy::SlopeAlphabet* shared_alphabet) {
+  if (shared_alphabet != nullptr) return LinkSimulator(config, *shared_alphabet);
+  return LinkSimulator(config);
+}
+
+}  // namespace
 
 BerMeasurement measure_downlink_ber(const SystemConfig& config, std::size_t min_bits,
                                     std::size_t payload_bits) {
-  BIS_CHECK(min_bits >= payload_bits);
-  LinkSimulator sim(config);
-  sim.calibrate_tag();
   Rng data_rng(config.seed ^ 0xD47Aull);
+  return measure_downlink_ber(config, min_bits, payload_bits, nullptr, data_rng);
+}
+
+BerMeasurement measure_downlink_ber(const SystemConfig& config, std::size_t min_bits,
+                                    std::size_t payload_bits,
+                                    const phy::SlopeAlphabet* shared_alphabet,
+                                    Rng& data_rng) {
+  BIS_CHECK(min_bits >= payload_bits);
+  LinkSimulator sim = make_simulator(config, shared_alphabet);
+  sim.calibrate_tag();
 
   phy::ErrorCounter counter;
   BerMeasurement m;
@@ -34,10 +52,18 @@ BerMeasurement measure_downlink_ber(const SystemConfig& config, std::size_t min_
 
 UplinkMeasurement measure_uplink(const SystemConfig& config, std::size_t frames,
                                  std::size_t bits_per_frame, bool downlink_active) {
-  BIS_CHECK(frames >= 1 && bits_per_frame >= 1);
-  LinkSimulator sim(config);
-  sim.calibrate_tag();
   Rng data_rng(config.seed ^ 0x1BADull);
+  return measure_uplink(config, frames, bits_per_frame, downlink_active, nullptr,
+                        data_rng);
+}
+
+UplinkMeasurement measure_uplink(const SystemConfig& config, std::size_t frames,
+                                 std::size_t bits_per_frame, bool downlink_active,
+                                 const phy::SlopeAlphabet* shared_alphabet,
+                                 Rng& data_rng) {
+  BIS_CHECK(frames >= 1 && bits_per_frame >= 1);
+  LinkSimulator sim = make_simulator(config, shared_alphabet);
+  sim.calibrate_tag();
 
   UplinkMeasurement m;
   RunningStats snr_proc;
@@ -67,10 +93,17 @@ UplinkMeasurement measure_uplink(const SystemConfig& config, std::size_t frames,
 LocalizationMeasurement measure_localization(const SystemConfig& config,
                                              std::size_t frames,
                                              bool downlink_active) {
-  BIS_CHECK(frames >= 1);
-  LinkSimulator sim(config);
-  sim.calibrate_tag();
   Rng data_rng(config.seed ^ 0x10Cull);
+  return measure_localization(config, frames, downlink_active, nullptr, data_rng);
+}
+
+LocalizationMeasurement measure_localization(const SystemConfig& config,
+                                             std::size_t frames, bool downlink_active,
+                                             const phy::SlopeAlphabet* shared_alphabet,
+                                             Rng& data_rng) {
+  BIS_CHECK(frames >= 1);
+  LinkSimulator sim = make_simulator(config, shared_alphabet);
+  sim.calibrate_tag();
 
   std::vector<double> errors;
   std::size_t detected = 0;
@@ -95,10 +128,18 @@ LocalizationMeasurement measure_localization(const SystemConfig& config,
 
 IsacMeasurement measure_integrated(const SystemConfig& config, std::size_t frames,
                                    std::size_t payload_bits, std::size_t uplink_bits) {
-  BIS_CHECK(frames >= 1);
-  LinkSimulator sim(config);
-  sim.calibrate_tag();
   Rng data_rng(config.seed ^ 0x15ACull);
+  return measure_integrated(config, frames, payload_bits, uplink_bits, nullptr,
+                            data_rng);
+}
+
+IsacMeasurement measure_integrated(const SystemConfig& config, std::size_t frames,
+                                   std::size_t payload_bits, std::size_t uplink_bits,
+                                   const phy::SlopeAlphabet* shared_alphabet,
+                                   Rng& data_rng) {
+  BIS_CHECK(frames >= 1);
+  LinkSimulator sim = make_simulator(config, shared_alphabet);
+  sim.calibrate_tag();
 
   IsacMeasurement m;
   phy::ErrorCounter dl_counter;

@@ -27,6 +27,16 @@ BerMeasurement measure_downlink_ber(const SystemConfig& config,
                                     std::size_t min_bits = 2000,
                                     std::size_t payload_bits = 120);
 
+/// Sweep-engine overload: draws payloads from the caller's @p data_rng (a
+/// jump-separated stream under SweepRunner) and, when @p shared_alphabet is
+/// non-null, reuses a precomputed slope alphabet instead of rebuilding it
+/// per point. The default wrapper above derives data_rng from config.seed
+/// exactly as before, so existing callers are bit-identical.
+BerMeasurement measure_downlink_ber(const SystemConfig& config,
+                                    std::size_t min_bits, std::size_t payload_bits,
+                                    const phy::SlopeAlphabet* shared_alphabet,
+                                    Rng& data_rng);
+
 struct UplinkMeasurement {
   double ber = 0.0;
   std::size_t bits = 0;
@@ -43,6 +53,12 @@ UplinkMeasurement measure_uplink(const SystemConfig& config,
                                  std::size_t bits_per_frame = 8,
                                  bool downlink_active = false);
 
+/// Sweep-engine overload (see measure_downlink_ber).
+UplinkMeasurement measure_uplink(const SystemConfig& config, std::size_t frames,
+                                 std::size_t bits_per_frame, bool downlink_active,
+                                 const phy::SlopeAlphabet* shared_alphabet,
+                                 Rng& data_rng);
+
 struct LocalizationMeasurement {
   double mean_error_m = 0.0;
   double median_error_m = 0.0;
@@ -57,6 +73,12 @@ LocalizationMeasurement measure_localization(const SystemConfig& config,
                                              std::size_t frames = 20,
                                              bool downlink_active = false);
 
+/// Sweep-engine overload (see measure_downlink_ber).
+LocalizationMeasurement measure_localization(const SystemConfig& config,
+                                             std::size_t frames, bool downlink_active,
+                                             const phy::SlopeAlphabet* shared_alphabet,
+                                             Rng& data_rng);
+
 struct IsacMeasurement {
   BerMeasurement downlink;
   UplinkMeasurement uplink;
@@ -67,5 +89,11 @@ IsacMeasurement measure_integrated(const SystemConfig& config,
                                    std::size_t frames = 10,
                                    std::size_t payload_bits = 80,
                                    std::size_t uplink_bits = 4);
+
+/// Sweep-engine overload (see measure_downlink_ber).
+IsacMeasurement measure_integrated(const SystemConfig& config, std::size_t frames,
+                                   std::size_t payload_bits, std::size_t uplink_bits,
+                                   const phy::SlopeAlphabet* shared_alphabet,
+                                   Rng& data_rng);
 
 }  // namespace bis::core

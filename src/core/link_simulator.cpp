@@ -7,8 +7,10 @@
 #include "common/constants.hpp"
 #include "common/units.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/resample.hpp"
 #include "dsp/window.hpp"
 #include "obs/telemetry.hpp"
+#include "rf/noise.hpp"
 #include "obs/trace.hpp"
 
 namespace bis::core {
@@ -36,8 +38,12 @@ ThreadPool* resolve_dsp_pool(std::size_t dsp_threads,
 }
 
 LinkSimulator::LinkSimulator(const SystemConfig& config)
+    : LinkSimulator(config, config.make_alphabet()) {}
+
+LinkSimulator::LinkSimulator(const SystemConfig& config,
+                             const phy::SlopeAlphabet& shared_alphabet)
     : config_(config),
-      alphabet_(config.make_alphabet()),
+      alphabet_(shared_alphabet),
       rng_(config.seed),
       tag_(prepare_tag_config(config), alphabet_, Rng(config.seed ^ 0x7A67ull)),
       range_processor_(radar::RangeProcessorConfig{}),
@@ -51,6 +57,10 @@ LinkSimulator::LinkSimulator(const SystemConfig& config)
   const auto fft_stats = dsp::fft_plan_cache_stats();
   fft_hits_baseline_ = fft_stats.hits;
   fft_misses_baseline_ = fft_stats.misses;
+  const auto regrid_stats = dsp::regrid_plan_cache_stats();
+  regrid_hits_baseline_ = regrid_stats.hits;
+  regrid_misses_baseline_ = regrid_stats.misses;
+  awgn_samples_baseline_ = rf::awgn_samples_added();
 
   // Scene: tag amplitude from the two-way retro link budget; clutter
   // objects at fixed positions with absolute (range-dependent) returns, so
@@ -417,6 +427,11 @@ obs::RunReport LinkSimulator::report() const {
   out.fft_plan_misses = fft_stats.misses - fft_misses_baseline_;
   out.fft_plans = fft_stats.plans;
   out.window_cache_entries = dsp::window_cache_size();
+  const auto regrid_stats = dsp::regrid_plan_cache_stats();
+  out.regrid_plan_hits = regrid_stats.hits - regrid_hits_baseline_;
+  out.regrid_plan_misses = regrid_stats.misses - regrid_misses_baseline_;
+  out.regrid_plans = regrid_stats.plans;
+  out.awgn_samples = rf::awgn_samples_added() - awgn_samples_baseline_;
   return out;
 }
 
@@ -428,6 +443,10 @@ void LinkSimulator::reset_report() {
   const auto fft_stats = dsp::fft_plan_cache_stats();
   fft_hits_baseline_ = fft_stats.hits;
   fft_misses_baseline_ = fft_stats.misses;
+  const auto regrid_stats = dsp::regrid_plan_cache_stats();
+  regrid_hits_baseline_ = regrid_stats.hits;
+  regrid_misses_baseline_ = regrid_stats.misses;
+  awgn_samples_baseline_ = rf::awgn_samples_added();
 }
 
 }  // namespace bis::core

@@ -61,6 +61,13 @@ class LinkSimulator {
  public:
   explicit LinkSimulator(const SystemConfig& config);
 
+  /// Shares a precomputed slope alphabet instead of rebuilding it. The
+  /// alphabet depends only on the radar/packet/tag parameters (not on seed,
+  /// range, or SNR), so sweep runners construct it once per distinct
+  /// configuration and hand it to every grid point (see core::SweepRunner).
+  /// Behaviour is identical to the single-argument constructor.
+  LinkSimulator(const SystemConfig& config, const phy::SlopeAlphabet& shared_alphabet);
+
   /// One-time tag calibration at config.calibration_range_m (paper §5).
   void calibrate_tag();
 
@@ -136,6 +143,9 @@ class LinkSimulator {
   obs::RunReport report_;                   ///< Accumulated run telemetry.
   std::uint64_t fft_hits_baseline_ = 0;     ///< Plan-cache counts at ctor /
   std::uint64_t fft_misses_baseline_ = 0;   ///< reset_report, for deltas.
+  std::uint64_t regrid_hits_baseline_ = 0;    ///< Regrid-plan cache deltas,
+  std::uint64_t regrid_misses_baseline_ = 0;  ///< same convention.
+  std::uint64_t awgn_samples_baseline_ = 0;   ///< rf::awgn_samples_added().
 };
 
 /// Resolve a dsp_threads setting (see SystemConfig) to the pool the frame

@@ -1,5 +1,6 @@
 #include "obs/report.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <ostream>
 #include <sstream>
@@ -34,6 +35,41 @@ double RunReport::mean_detector_snr_db() const {
              : detector_snr_sum_db / static_cast<double>(detection_attempts);
 }
 
+void RunReport::merge(const RunReport& other) {
+  if (config.empty()) config = other.config;
+  downlink_frames += other.downlink_frames;
+  uplink_frames += other.uplink_frames;
+  integrated_frames += other.integrated_frames;
+  chirps_processed += other.chirps_processed;
+  sync_attempts += other.sync_attempts;
+  sync_locks += other.sync_locks;
+  crc_attempts += other.crc_attempts;
+  crc_passes += other.crc_passes;
+  downlink_bits += other.downlink_bits;
+  downlink_bit_errors += other.downlink_bit_errors;
+  detection_attempts += other.detection_attempts;
+  detections += other.detections;
+  uplink_bits += other.uplink_bits;
+  uplink_bit_errors += other.uplink_bit_errors;
+  detector_snr_sum_db += other.detector_snr_sum_db;
+  last_detector_snr_db = other.last_detector_snr_db;
+  fft_plan_hits += other.fft_plan_hits;
+  fft_plan_misses += other.fft_plan_misses;
+  fft_plans = std::max(fft_plans, other.fft_plans);
+  window_cache_entries = std::max(window_cache_entries, other.window_cache_entries);
+  regrid_plan_hits += other.regrid_plan_hits;
+  regrid_plan_misses += other.regrid_plan_misses;
+  regrid_plans = std::max(regrid_plans, other.regrid_plans);
+  awgn_samples += other.awgn_samples;
+  stage.if_synthesis_s += other.stage.if_synthesis_s;
+  stage.range_fft_s += other.stage.range_fft_s;
+  stage.if_correction_s += other.stage.if_correction_s;
+  stage.detect_s += other.stage.detect_s;
+  stage.uplink_decode_s += other.stage.uplink_decode_s;
+  stage.tag_frontend_s += other.stage.tag_frontend_s;
+  stage.tag_decode_s += other.stage.tag_decode_s;
+}
+
 void RunReport::write_json(std::ostream& os) const {
   os << "{\n";
   os << "  \"config\": \"" << json_escape(config) << "\",\n";
@@ -61,6 +97,10 @@ void RunReport::write_json(std::ostream& os) const {
      << ", \"misses\": " << fft_plan_misses << ", \"plans\": " << fft_plans
      << "},\n";
   os << "  \"window_cache_entries\": " << window_cache_entries << ",\n";
+  os << "  \"regrid_plan_cache\": {\"hits\": " << regrid_plan_hits
+     << ", \"misses\": " << regrid_plan_misses << ", \"plans\": " << regrid_plans
+     << "},\n";
+  os << "  \"awgn_samples\": " << awgn_samples << ",\n";
   os << "  \"stage_seconds\": {\"if_synthesis\": " << stage.if_synthesis_s
      << ", \"range_fft\": " << stage.range_fft_s
      << ", \"if_correction\": " << stage.if_correction_s

@@ -61,6 +61,11 @@ struct RunReport {
   std::uint64_t fft_plan_misses = 0;
   std::uint64_t fft_plans = 0;           ///< Distinct sizes currently cached.
   std::uint64_t window_cache_entries = 0;
+  std::uint64_t regrid_plan_hits = 0;    ///< IF-correction stencil cache.
+  std::uint64_t regrid_plan_misses = 0;
+  std::uint64_t regrid_plans = 0;        ///< Distinct (axis, grid) pairs.
+  std::uint64_t awgn_samples = 0;        ///< Batched Gaussian noise samples
+                                         ///< added (complex counts 2/sample).
 
   StageTimes stage;
 
@@ -69,6 +74,13 @@ struct RunReport {
   double downlink_ber() const;
   double uplink_ber() const;
   double mean_detector_snr_db() const;
+
+  /// Fold another report into this one: counters, bit totals, SNR sums, and
+  /// stage times add; cache-size snapshots (plans, window entries) take the
+  /// max; `config` keeps this report's key when set, else adopts the
+  /// other's. SweepRunner uses this to aggregate per-point reports into one
+  /// sweep-level report.
+  void merge(const RunReport& other);
 
   /// One JSON object with every field above plus the derived rates.
   void write_json(std::ostream& os) const;

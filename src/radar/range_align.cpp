@@ -10,17 +10,27 @@
 namespace bis::radar {
 
 dsp::RVec AlignedProfiles::column_magnitude(std::size_t bin) const {
-  BIS_CHECK(bin < n_bins());
   dsp::RVec out(rows.size());
-  for (std::size_t m = 0; m < rows.size(); ++m) out[m] = std::abs(rows[m][bin]);
+  column_magnitude(bin, out);
   return out;
 }
 
-dsp::CVec AlignedProfiles::column(std::size_t bin) const {
+void AlignedProfiles::column_magnitude(std::size_t bin, std::span<double> out) const {
   BIS_CHECK(bin < n_bins());
+  BIS_CHECK(out.size() == rows.size());
+  for (std::size_t m = 0; m < rows.size(); ++m) out[m] = std::abs(rows[m][bin]);
+}
+
+dsp::CVec AlignedProfiles::column(std::size_t bin) const {
   dsp::CVec out(rows.size());
-  for (std::size_t m = 0; m < rows.size(); ++m) out[m] = rows[m][bin];
+  column(bin, out);
   return out;
+}
+
+void AlignedProfiles::column(std::size_t bin, std::span<dsp::cdouble> out) const {
+  BIS_CHECK(bin < n_bins());
+  BIS_CHECK(out.size() == rows.size());
+  for (std::size_t m = 0; m < rows.size(); ++m) out[m] = rows[m][bin];
 }
 
 RangeAligner::RangeAligner(const RangeAlignConfig& config) : config_(config) {}
@@ -69,18 +79,30 @@ AlignedProfiles RangeAligner::align(std::span<const RangeProfile> profiles,
   bis::parallel_for(pool, 0, profiles.size(), [&](std::size_t i) {
     const auto& p = profiles[i];
     const auto axis = p.range_axis();
-    out.rows[i] = dsp::regrid_linear(axis, p.bins, out.range_grid);
+    // CSSK reuses a handful of slopes, so the (axis, grid) pair repeats
+    // across chirps and frames: replay the memoized stencil instead of
+    // re-running the per-bin interval search (bit-identical output).
+    const auto plan = dsp::cached_regrid_plan(axis, out.range_grid);
+    out.rows[i].resize(out.range_grid.size());
+    plan->apply(p.bins, out.rows[i]);
   });
   return out;
 }
 
 void subtract_background(AlignedProfiles& profiles, std::size_t background_row) {
   BIS_CHECK(background_row < profiles.rows.size());
-  const dsp::CVec background = profiles.rows[background_row];
-  for (auto& row : profiles.rows) {
+  // Subtract in place against a reference to the background row — no copy.
+  // Rows other than the background are independent of it, and the
+  // background row itself is handled last (it becomes exactly zero).
+  const dsp::CVec& background = profiles.rows[background_row];
+  for (std::size_t r = 0; r < profiles.rows.size(); ++r) {
+    if (r == background_row) continue;
+    auto& row = profiles.rows[r];
     BIS_CHECK(row.size() == background.size());
     for (std::size_t i = 0; i < row.size(); ++i) row[i] -= background[i];
   }
+  auto& bg = profiles.rows[background_row];
+  std::fill(bg.begin(), bg.end(), dsp::cdouble(0.0, 0.0));
 }
 
 }  // namespace bis::radar

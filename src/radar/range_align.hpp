@@ -30,8 +30,16 @@ struct AlignedProfiles {
   /// Magnitude of one slow-time column (fixed grid bin across chirps).
   dsp::RVec column_magnitude(std::size_t bin) const;
 
+  /// Allocation-free overload: writes into @p out (size n_chirps()). The
+  /// detector's slow-time loop calls this once per range bin per block, so
+  /// the allocating form would churn in the hot path.
+  void column_magnitude(std::size_t bin, std::span<double> out) const;
+
   /// Complex slow-time column.
   dsp::CVec column(std::size_t bin) const;
+
+  /// Allocation-free overload (out.size() must equal n_chirps()).
+  void column(std::size_t bin, std::span<dsp::cdouble> out) const;
 };
 
 struct RangeAlignConfig {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
@@ -25,20 +26,30 @@ TagDetector::TagDetector(const TagDetectorConfig& config) : config_(config) {
 dsp::RVec TagDetector::slow_time_spectrum(const AlignedProfiles& profiles,
                                           std::size_t bin, std::size_t first,
                                           std::size_t count) const {
-  auto series = profiles.column_magnitude(bin);
-  BIS_CHECK(first < series.size());
-  if (count == 0) count = series.size() - first;
-  BIS_CHECK(first + count <= series.size());
-  series = dsp::RVec(series.begin() + static_cast<long>(first),
-                     series.begin() + static_cast<long>(first + count));
-  BIS_CHECK(series.size() >= 4);
+  const std::size_t n_chirps = profiles.n_chirps();
+  BIS_CHECK(first < n_chirps);
+  if (count == 0) count = n_chirps - first;
+  BIS_CHECK(first + count <= n_chirps);
+  BIS_CHECK(count >= 4);
+  // This runs once per range bin per block — the detector's hottest loop.
+  // thread_local scratch keeps each parallel_for lane allocation-free; every
+  // call fully overwrites the buffers, so reuse never leaks state across bins.
+  thread_local dsp::RVec col;
+  thread_local dsp::RVec xw;
+  col.resize(n_chirps);
+  profiles.column_magnitude(bin, col);
+  const std::span<const double> series(col.data() + first, count);
   // Static clutter residue is DC in slow time; remove the mean before the
-  // FFT so the modulation tone dominates.
-  const auto centred = dsp::remove_dc(series);
-  const auto w = dsp::cached_window(dsp::WindowType::kHann, centred.size());
-  const auto xw = dsp::apply_window(centred, *w);
+  // FFT so the modulation tone dominates. Fused mean-removal + Hann window
+  // evaluates exactly what remove_dc + apply_window computed.
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(series.size());
+  const auto w = dsp::cached_window(dsp::WindowType::kHann, count);
+  xw.resize(count);
+  for (std::size_t i = 0; i < count; ++i) xw[i] = (series[i] - mean) * (*w)[i];
   const std::size_t n_fft =
-      dsp::next_power_of_two(centred.size()) * config_.slow_time_pad_factor;
+      dsp::next_power_of_two(count) * config_.slow_time_pad_factor;
   // Real-input fast path: the one-sided rfft is all this ever read from the
   // full complex transform.
   const auto spec = dsp::rfft_padded(xw, n_fft);

@@ -6,6 +6,7 @@
 /// slight edge over the 9 GHz chirp generator to "a higher quality clock and
 /// signal generator", Fig. 17 — we expose that knob here).
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -15,8 +16,17 @@
 namespace bis::rf {
 
 /// Add zero-mean white Gaussian noise with the given standard deviation.
+/// Batched: deviates come from Rng::fill_gaussian (ziggurat) in chunks, not
+/// a per-sample Box–Muller call — this is the inner loop of every noisy
+/// chirp. Still fully deterministic per @p rng stream.
 void add_awgn(std::span<double> x, double sigma, Rng& rng);
 void add_awgn(std::span<bis::dsp::cdouble> x, double sigma_per_component, Rng& rng);
+
+/// Cumulative real samples noised by add_awgn across the process (a complex
+/// sample counts twice — once per component). Always on; run reports use
+/// deltas to attribute AWGN volume to a run. Also exported as the
+/// `bis.rf.awgn_samples` metric when telemetry is enabled.
+std::uint64_t awgn_samples_added();
 
 /// Noise sigma that yields @p snr_db for a real sinusoid of amplitude @p amp
 /// (signal power amp²/2).

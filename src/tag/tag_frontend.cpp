@@ -112,9 +112,17 @@ void TagFrontend::synthesize_period(const rf::ChirpParams& chirp,
   for (const auto& tone : mixed.tones)
     dsp::accumulate_tone(active, tone.amplitude, tone.frequency_hz, dt,
                          tone.phase_rad);
-  for (std::size_t i = 0; i < n_total; ++i) {
-    out[i] = gain_ * (out[i] + rng_.gaussian(0.0, noise_rms));
-    out[i] = adc_.quantize(out[i]);
+  // Batched detector noise: one ziggurat fill per chunk replaces the
+  // per-sample Box–Muller call that used to dominate this loop.
+  constexpr std::size_t kChunk = 512;
+  double noise[kChunk];
+  for (std::size_t base = 0; base < n_total; base += kChunk) {
+    const std::size_t n = std::min(kChunk, n_total - base);
+    rng_.fill_gaussian(std::span<double>(noise, n));
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = gain_ * (out[base + i] + noise_rms * noise[i]);
+      out[base + i] = adc_.quantize(v);
+    }
   }
 }
 
