@@ -409,6 +409,24 @@ bool write_bench_json(const std::string& path) {
   }
   std::printf("parallel output bit-identical to sequential: %s\n",
               parity_ok ? "yes" : "NO");
+  // Headline scaling number: best speedup over *valid* rows only. Reporting
+  // an oversubscribed row as the headline would claim parallel speedup a
+  // smaller host never saw.
+  double best_valid_speedup = 1.0;
+  std::size_t excluded_rows = 0;
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    if (row_valid[i])
+      best_valid_speedup = std::max(best_valid_speedup, frame_ms.front() / frame_ms[i]);
+    else
+      ++excluded_rows;
+  }
+  if (excluded_rows > 0)
+    std::fprintf(stderr,
+                 "note: %zu thread-scaling row(s) exceed the %u hardware "
+                 "thread(s) and are excluded from the headline speedup\n",
+                 excluded_rows, hardware_threads);
+  std::printf("frame pipeline headline speedup (valid rows): %.2fx\n",
+              best_valid_speedup);
 
   // Telemetry overhead guardrail: the same sequential frame with the obs
   // subsystem off vs on. Off must be indistinguishable from the seed (<2%).
@@ -484,6 +502,7 @@ bool write_bench_json(const std::string& path) {
         << (i + 1 < thread_counts.size() ? "," : "") << "\n";
   }
   out << "    ],\n";
+  out << "    \"best_valid_speedup\": " << best_valid_speedup << ",\n";
   out << "    \"parity_bit_identical\": " << (parity_ok ? "true" : "false") << "\n";
   out << "  },\n";
   out << "  \"telemetry_overhead\": {\n";

@@ -203,6 +203,23 @@ bool write_bench_json(const std::string& path) {
   }
   std::printf("sweep results bit-identical across thread counts: %s\n",
               parity_ok ? "yes" : "NO");
+  // Headline scaling number: best speedup over *valid* rows only (an
+  // oversubscribed row on a small host is a time-slicing artifact, not a
+  // parallel speedup).
+  double best_valid_speedup = 1.0;
+  std::size_t excluded_rows = 0;
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    if (row_valid[i])
+      best_valid_speedup = std::max(best_valid_speedup, sweep_ms.front() / sweep_ms[i]);
+    else
+      ++excluded_rows;
+  }
+  if (excluded_rows > 0)
+    std::fprintf(stderr,
+                 "note: %zu thread-scaling row(s) exceed the %u hardware "
+                 "thread(s) and are excluded from the headline speedup\n",
+                 excluded_rows, hardware_threads);
+  std::printf("sweep headline speedup (valid rows): %.2fx\n", best_valid_speedup);
 
   std::ofstream out(path);
   out << "{\n";
@@ -226,6 +243,7 @@ bool write_bench_json(const std::string& path) {
         << (i + 1 < thread_counts.size() ? "," : "") << "\n";
   }
   out << "    ],\n";
+  out << "    \"best_valid_speedup\": " << best_valid_speedup << ",\n";
   out << "    \"parity_bit_identical\": " << (parity_ok ? "true" : "false")
       << "\n";
   out << "  }\n";

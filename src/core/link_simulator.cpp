@@ -7,6 +7,7 @@
 #include "common/constants.hpp"
 #include "common/units.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/kernels/kernels.hpp"
 #include "dsp/resample.hpp"
 #include "dsp/window.hpp"
 #include "obs/telemetry.hpp"
@@ -53,6 +54,12 @@ LinkSimulator::LinkSimulator(const SystemConfig& config,
   // dsp/radar/tag code that has no SystemConfig), so an opted-in simulator
   // latches it on for everyone. The per-run report below stays per-instance.
   if (config_.telemetry) obs::set_enabled(true);
+  // SIMD dispatch is likewise process-wide (the kernel table is a global);
+  // an explicit config override must take effect, so an unknown/unavailable
+  // name is a hard error rather than a silent fallback.
+  if (!config_.simd.empty())
+    BIS_CHECK_MSG(dsp::kernels::set_target(config_.simd),
+                  "SystemConfig::simd names an unknown or unavailable target");
   report_.config = config_key(config_);
   const auto fft_stats = dsp::fft_plan_cache_stats();
   fft_hits_baseline_ = fft_stats.hits;

@@ -81,6 +81,14 @@ struct SystemConfig {
                                      ///< var enables it too. Off: the only
                                      ///< cost on the hot path is a relaxed
                                      ///< atomic load + branch per site.
+  std::string simd;                  ///< SIMD kernel dispatch override:
+                                     ///< "scalar" (or "off"), "sse2", "avx2".
+                                     ///< Empty = keep the process-wide choice
+                                     ///< (CPU detection, or the BIS_SIMD env
+                                     ///< var). Applied process-wide when a
+                                     ///< LinkSimulator is built. All targets
+                                     ///< produce bit-identical frame output
+                                     ///< (see dsp/kernels/kernels.hpp).
 
   /// Derive the CSSK alphabet for this radar+tag combination. Clamps the
   /// maximum beat frequency below the tag ADC Nyquist bound by raising the

@@ -4,20 +4,18 @@
 
 #include "common/check.hpp"
 #include "common/constants.hpp"
+#include "dsp/kernels/kernels.hpp"
 
 namespace bis::dsp {
 
 cdouble goertzel(std::span<const double> x, double freq, double fs) {
   BIS_CHECK(fs > 0.0);
   const double omega = kTwoPi * freq / fs;
-  const double coeff = 2.0 * std::cos(omega);
+  double coeff = 2.0 * std::cos(omega);
   double s_prev = 0.0;
   double s_prev2 = 0.0;
-  for (double sample : x) {
-    const double s = sample + coeff * s_prev - s_prev2;
-    s_prev2 = s_prev;
-    s_prev = s;
-  }
+  kernels::kgoertzel(x, std::span<const double>(&coeff, 1),
+                     std::span<double>(&s_prev, 1), std::span<double>(&s_prev2, 1));
   // Final complex correction step.
   const double real = s_prev - s_prev2 * std::cos(omega);
   const double imag = s_prev2 * std::sin(omega);
@@ -32,13 +30,29 @@ GoertzelBank::GoertzelBank(std::vector<double> frequencies, double sample_rate)
     : freqs_(std::move(frequencies)), fs_(sample_rate) {
   BIS_CHECK(!freqs_.empty());
   BIS_CHECK(fs_ > 0.0);
-  for (double f : freqs_) BIS_CHECK_MSG(f < fs_ / 2.0, "Goertzel bin above Nyquist");
+  coeffs_.reserve(freqs_.size());
+  cos_.reserve(freqs_.size());
+  sin_.reserve(freqs_.size());
+  for (double f : freqs_) {
+    BIS_CHECK_MSG(f < fs_ / 2.0, "Goertzel bin above Nyquist");
+    const double omega = kTwoPi * f / fs_;
+    coeffs_.push_back(2.0 * std::cos(omega));
+    cos_.push_back(std::cos(omega));
+    sin_.push_back(std::sin(omega));
+  }
 }
 
 std::vector<double> GoertzelBank::powers(std::span<const double> window) const {
-  std::vector<double> out(freqs_.size());
-  for (std::size_t i = 0; i < freqs_.size(); ++i)
-    out[i] = goertzel_power(window, freqs_[i], fs_);
+  const std::size_t n = freqs_.size();
+  RVec s1(n, 0.0);
+  RVec s2(n, 0.0);
+  kernels::kgoertzel(window, coeffs_, s1, s2);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double real = s1[i] - s2[i] * cos_[i];
+    const double imag = s2[i] * sin_[i];
+    out[i] = real * real + imag * imag;
+  }
   return out;
 }
 

@@ -23,7 +23,9 @@ cdouble goertzel(std::span<const double> x, double freq, double fs);
 double goertzel_power(std::span<const double> x, double freq, double fs);
 
 /// A bank of Goertzel evaluators at fixed frequencies (the calibrated Δf
-/// table). Evaluates all bins over a window with a single pass per bin.
+/// table). The recurrence coefficients are precomputed once; the per-window
+/// inner loop runs through the SIMD kernel layer, which iterates four
+/// frequencies per lane block in a single pass over the samples.
 class GoertzelBank {
  public:
   GoertzelBank(std::vector<double> frequencies, double sample_rate);
@@ -40,6 +42,9 @@ class GoertzelBank {
  private:
   std::vector<double> freqs_;
   double fs_;
+  RVec coeffs_;  // 2·cos(ω) per frequency
+  RVec cos_;     // cos(ω) per frequency (final correction)
+  RVec sin_;     // sin(ω) per frequency (final correction)
 };
 
 /// Sliding DFT at one frequency: maintains the DFT of the last N samples with

@@ -1,0 +1,229 @@
+#pragma once
+
+/// @file kernels_body.hpp
+/// Generic kernel bodies, templated on a per-target `Ops` policy that models
+/// one 4-lane block of doubles (AVX2: one 256-bit register, SSE2: two
+/// 128-bit registers, scalar: four doubles). Writing each kernel once over
+/// this abstraction is what makes the bit-identity contract hold by
+/// construction: every element goes through the same IEEE operations in the
+/// same order on every target, and the <4-element tails below are the same
+/// scalar code in every backend (all kernel TUs compile with
+/// -ffp-contract=off, so the compiler cannot fuse a·b+c differently per TU).
+///
+/// Required Ops interface (V is the 4-lane block type):
+///   V    load(const double* p)            unaligned load of 4 doubles
+///   void store(double* p, V)              unaligned store of 4 doubles
+///   V    bcast(double v)
+///   V    add/sub/mul(V, V), vsqrt(V)
+///   double reduce4(V)                     (l0 + l1) + (l2 + l3)
+///   V    load_norm(const cdouble* p)      [re·re + im·im] for 4 complex,
+///                                         in element order
+///   void cmul4(const cdouble* a, const cdouble* b, cdouble* out)
+///                                         (ar·br − ai·bi, ar·bi + ai·br) ×4
+///   void cwin4(const cdouble* x, const double* w, cdouble* out)
+///                                         (re·w, im·w) ×4
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "dsp/kernels/kernel_table.hpp"
+
+namespace bis::dsp::kernels::body {
+
+template <typename Ops>
+void mag(std::span<const cdouble> x, std::span<double> out) {
+  const std::size_t n = x.size();
+  const std::size_t n4 = n - n % 4;
+  for (std::size_t i = 0; i < n4; i += 4)
+    Ops::store(out.data() + i, Ops::vsqrt(Ops::load_norm(x.data() + i)));
+  for (std::size_t i = n4; i < n; ++i) {
+    const double re = x[i].real(), im = x[i].imag();
+    out[i] = std::sqrt(re * re + im * im);
+  }
+}
+
+template <typename Ops>
+void norm(std::span<const cdouble> x, std::span<double> out) {
+  const std::size_t n = x.size();
+  const std::size_t n4 = n - n % 4;
+  for (std::size_t i = 0; i < n4; i += 4)
+    Ops::store(out.data() + i, Ops::load_norm(x.data() + i));
+  for (std::size_t i = n4; i < n; ++i) {
+    const double re = x[i].real(), im = x[i].imag();
+    out[i] = re * re + im * im;
+  }
+}
+
+template <typename Ops>
+void mag_db(std::span<const cdouble> x, std::span<double> out, double floor_db) {
+  // Vectorized |x|², then a shared scalar log pass: libm log10 has no vector
+  // counterpart here, and routing every target through the identical scalar
+  // tail keeps the output bit-identical by construction.
+  norm<Ops>(x, out);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = out[i] > 0.0 ? std::max(10.0 * std::log10(out[i]), floor_db)
+                          : floor_db;
+}
+
+template <typename Ops>
+void apply_window_r(std::span<const double> x, std::span<const double> w,
+                    std::span<double> out) {
+  const std::size_t n = x.size();
+  const std::size_t n4 = n - n % 4;
+  for (std::size_t i = 0; i < n4; i += 4)
+    Ops::store(out.data() + i,
+               Ops::mul(Ops::load(x.data() + i), Ops::load(w.data() + i)));
+  for (std::size_t i = n4; i < n; ++i) out[i] = x[i] * w[i];
+}
+
+template <typename Ops>
+void apply_window_c(std::span<const cdouble> x, std::span<const double> w,
+                    std::span<cdouble> out) {
+  const std::size_t n = x.size();
+  const std::size_t n4 = n - n % 4;
+  for (std::size_t i = 0; i < n4; i += 4)
+    Ops::cwin4(x.data() + i, w.data() + i, out.data() + i);
+  for (std::size_t i = n4; i < n; ++i)
+    out[i] = cdouble(x[i].real() * w[i], x[i].imag() * w[i]);
+}
+
+template <typename Ops>
+void cmul(std::span<const cdouble> a, std::span<const cdouble> b,
+          std::span<cdouble> out) {
+  const std::size_t n = a.size();
+  const std::size_t n4 = n - n % 4;
+  // Two independent blocks per iteration: complex multiply is bound by the
+  // shuffle port, so overlapping two dependence-free block computations lets
+  // the multiplies of one block hide under the shuffles of the other. The
+  // per-element operations are untouched, so bit-identity is unaffected.
+  const std::size_t n8 = n4 - n4 % 8;
+  for (std::size_t i = 0; i < n8; i += 8) {
+    Ops::cmul4(a.data() + i, b.data() + i, out.data() + i);
+    Ops::cmul4(a.data() + i + 4, b.data() + i + 4, out.data() + i + 4);
+  }
+  for (std::size_t i = n8; i < n4; i += 4)
+    Ops::cmul4(a.data() + i, b.data() + i, out.data() + i);
+  for (std::size_t i = n4; i < n; ++i) {
+    const double ar = a[i].real(), ai = a[i].imag();
+    const double br = b[i].real(), bi = b[i].imag();
+    out[i] = cdouble(ar * br - ai * bi, ar * bi + ai * br);
+  }
+}
+
+template <typename Ops>
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  const std::size_t n = x.size();
+  const std::size_t n4 = n - n % 4;
+  const auto va = Ops::bcast(a);
+  for (std::size_t i = 0; i < n4; i += 4)
+    Ops::store(y.data() + i, Ops::add(Ops::load(y.data() + i),
+                                      Ops::mul(va, Ops::load(x.data() + i))));
+  for (std::size_t i = n4; i < n; ++i) y[i] = y[i] + a * x[i];
+}
+
+template <typename Ops>
+void scale_add(std::span<double> y, double scale, double a,
+               std::span<const double> x) {
+  const std::size_t n = y.size();
+  const std::size_t n4 = n - n % 4;
+  const auto vs = Ops::bcast(scale);
+  const auto va = Ops::bcast(a);
+  for (std::size_t i = 0; i < n4; i += 4)
+    Ops::store(y.data() + i,
+               Ops::mul(vs, Ops::add(Ops::load(y.data() + i),
+                                     Ops::mul(va, Ops::load(x.data() + i)))));
+  for (std::size_t i = n4; i < n; ++i) y[i] = scale * (y[i] + a * x[i]);
+}
+
+template <typename Ops>
+void scale_r(std::span<double> y, double s) {
+  const std::size_t n = y.size();
+  const std::size_t n4 = n - n % 4;
+  const auto vs = Ops::bcast(s);
+  for (std::size_t i = 0; i < n4; i += 4)
+    Ops::store(y.data() + i, Ops::mul(Ops::load(y.data() + i), vs));
+  for (std::size_t i = n4; i < n; ++i) y[i] = y[i] * s;
+}
+
+template <typename Ops>
+double sum_sq(std::span<const double> x) {
+  const std::size_t n = x.size();
+  const std::size_t n4 = n - n % 4;
+  auto acc = Ops::bcast(0.0);
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const auto v = Ops::load(x.data() + i);
+    acc = Ops::add(acc, Ops::mul(v, v));
+  }
+  double total = Ops::reduce4(acc);
+  for (std::size_t i = n4; i < n; ++i) total += x[i] * x[i];
+  return total;
+}
+
+template <typename Ops>
+double dot(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = x.size();
+  const std::size_t n4 = n - n % 4;
+  auto acc = Ops::bcast(0.0);
+  for (std::size_t i = 0; i < n4; i += 4)
+    acc = Ops::add(acc, Ops::mul(Ops::load(x.data() + i), Ops::load(y.data() + i)));
+  double total = Ops::reduce4(acc);
+  for (std::size_t i = n4; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
+template <typename Ops>
+void goertzel(std::span<const double> x, std::span<const double> coeffs,
+              std::span<double> s1, std::span<double> s2) {
+  const std::size_t nf = coeffs.size();
+  const std::size_t nf4 = nf - nf % 4;
+  // Four frequencies per lane block: the recurrence is sequential in samples
+  // but embarrassingly parallel across bins. Lanes never interact, so each
+  // bin's state matches the one-frequency scalar recurrence bit-for-bit.
+  for (std::size_t f = 0; f < nf4; f += 4) {
+    const auto c = Ops::load(coeffs.data() + f);
+    auto vs1 = Ops::bcast(0.0);
+    auto vs2 = Ops::bcast(0.0);
+    for (const double sample : x) {
+      const auto s =
+          Ops::sub(Ops::add(Ops::bcast(sample), Ops::mul(c, vs1)), vs2);
+      vs2 = vs1;
+      vs1 = s;
+    }
+    Ops::store(s1.data() + f, vs1);
+    Ops::store(s2.data() + f, vs2);
+  }
+  for (std::size_t f = nf4; f < nf; ++f) {
+    const double c = coeffs[f];
+    double p1 = 0.0, p2 = 0.0;
+    for (const double sample : x) {
+      const double s = (sample + c * p1) - p2;
+      p2 = p1;
+      p1 = s;
+    }
+    s1[f] = p1;
+    s2[f] = p2;
+  }
+}
+
+/// Assemble the dispatch table for one backend.
+template <typename Ops>
+detail::KernelTable make_table() {
+  detail::KernelTable t;
+  t.mag = &mag<Ops>;
+  t.norm = &norm<Ops>;
+  t.mag_db = &mag_db<Ops>;
+  t.apply_window_r = &apply_window_r<Ops>;
+  t.apply_window_c = &apply_window_c<Ops>;
+  t.cmul = &cmul<Ops>;
+  t.axpy = &axpy<Ops>;
+  t.scale_add = &scale_add<Ops>;
+  t.scale_r = &scale_r<Ops>;
+  t.sum_sq = &sum_sq<Ops>;
+  t.dot = &dot<Ops>;
+  t.goertzel = &goertzel<Ops>;
+  return t;
+}
+
+}  // namespace bis::dsp::kernels::body

@@ -6,23 +6,21 @@
 #include "common/check.hpp"
 #include "common/constants.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/kernels/kernels.hpp"
 #include "dsp/types.hpp"
 
 namespace bis::dsp {
 
 double normalized_correlation(std::span<const double> a, std::span<const double> b) {
   BIS_CHECK(a.size() == b.size());
-  double dot = 0.0, ea = 0.0, eb = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    dot += a[i] * b[i];
-    ea += a[i] * a[i];
-    eb += b[i] * b[i];
-  }
+  const double dot = kernels::kdot(a, b);
+  const double ea = kernels::ksum_sq(a);
+  const double eb = kernels::ksum_sq(b);
   if (ea == 0.0 || eb == 0.0) return 0.0;
   return dot / std::sqrt(ea * eb);
 }
 
-std::vector<double> cross_correlate(std::span<const double> x, std::span<const double> h) {
+RVec cross_correlate(std::span<const double> x, std::span<const double> h) {
   BIS_CHECK(!x.empty() && !h.empty());
   const std::size_t nx = x.size();
   const std::size_t nh = h.size();
@@ -35,7 +33,7 @@ std::vector<double> cross_correlate(std::span<const double> x, std::span<const d
     RVec h_rev(h.rbegin(), h.rend());
     const auto hf = rfft_padded(h_rev, n_fft);
     CVec prod(xf.size());
-    for (std::size_t k = 0; k < prod.size(); ++k) prod[k] = xf[k] * hf[k];
+    kernels::kcmul(xf, hf, prod);
     auto full = irfft(prod, n_fft);
     full.resize(n_full);
     return full;
@@ -43,12 +41,11 @@ std::vector<double> cross_correlate(std::span<const double> x, std::span<const d
   return cross_correlate_direct(x, h);
 }
 
-std::vector<double> cross_correlate_direct(std::span<const double> x,
-                                           std::span<const double> h) {
+RVec cross_correlate_direct(std::span<const double> x, std::span<const double> h) {
   BIS_CHECK(!x.empty() && !h.empty());
   const std::size_t nx = x.size();
   const std::size_t nh = h.size();
-  std::vector<double> out(nx + nh - 1, 0.0);
+  RVec out(nx + nh - 1, 0.0);
   for (std::size_t lag_index = 0; lag_index < out.size(); ++lag_index) {
     const long long lag = static_cast<long long>(lag_index) - static_cast<long long>(nh - 1);
     double acc = 0.0;
@@ -62,9 +59,9 @@ std::vector<double> cross_correlate_direct(std::span<const double> x,
   return out;
 }
 
-std::vector<double> square_wave_signature(double mod_freq, double duty,
-                                          std::size_t n_chirps, double chirp_period,
-                                          std::size_t n_fft, std::size_t n_harmonics) {
+RVec square_wave_signature(double mod_freq, double duty,
+                           std::size_t n_chirps, double chirp_period,
+                           std::size_t n_fft, std::size_t n_harmonics) {
   BIS_CHECK(mod_freq > 0.0);
   BIS_CHECK(duty > 0.0 && duty < 1.0);
   BIS_CHECK(n_chirps > 1);
@@ -72,7 +69,7 @@ std::vector<double> square_wave_signature(double mod_freq, double duty,
   BIS_CHECK(n_fft >= n_chirps);
 
   const double slow_fs = 1.0 / chirp_period;  // slow-time sample rate
-  std::vector<double> sig(n_fft / 2 + 1, 0.0);
+  RVec sig(n_fft / 2 + 1, 0.0);
   const double bin_hz = slow_fs / static_cast<double>(n_fft);
 
   // Fourier series of a unipolar square wave with the given duty cycle:

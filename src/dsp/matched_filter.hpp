@@ -21,20 +21,19 @@ double normalized_correlation(std::span<const double> a, std::span<const double>
 /// Direct O(Nx·Nh) sliding-dot-product cross-correlation — the reference
 /// implementation; cross_correlate routes large inputs through an
 /// rfft/irfft overlap-free fast path instead (identical output to ~1e-10).
-std::vector<double> cross_correlate_direct(std::span<const double> x,
-                                           std::span<const double> h);
+RVec cross_correlate_direct(std::span<const double> x, std::span<const double> h);
 
 /// Full cross-correlation of x with template h (lengths Nx and Nh) at all
 /// integer lags in [-(Nh-1), Nx-1]. out[i] corresponds to lag i-(Nh-1).
-std::vector<double> cross_correlate(std::span<const double> x, std::span<const double> h);
+RVec cross_correlate(std::span<const double> x, std::span<const double> h);
 
 /// Expected one-sided slow-time magnitude spectrum of an on/off square wave
 /// at @p mod_freq with @p duty cycle, observed over @p n_chirps chirps spaced
 /// @p chirp_period apart, evaluated on an n_fft-point grid (one-sided,
 /// n_fft/2+1 entries). Includes the odd-harmonic comb of the square wave.
-std::vector<double> square_wave_signature(double mod_freq, double duty,
-                                          std::size_t n_chirps, double chirp_period,
-                                          std::size_t n_fft, std::size_t n_harmonics = 3);
+RVec square_wave_signature(double mod_freq, double duty,
+                           std::size_t n_chirps, double chirp_period,
+                           std::size_t n_fft, std::size_t n_harmonics = 3);
 
 /// Score how well the one-sided spectrum @p spectrum matches the square-wave
 /// signature at @p mod_freq (normalized correlation over signature support).

@@ -5,35 +5,44 @@
 
 #include "common/check.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/kernels/kernels.hpp"
 #include "dsp/peak.hpp"
 
 namespace bis::dsp {
 namespace {
 
-/// Thread-local windowed+padded input for the real-FFT spectral estimators:
-/// the per-call window multiply and zero pad reuse one buffer instead of
-/// allocating two temporaries per periodogram.
+/// Thread-local windowed+padded input (and |·|² scratch) for the real-FFT
+/// spectral estimators: the per-call window multiply, zero pad, and power
+/// pass reuse two buffers instead of allocating temporaries per periodogram.
 RVec& spectrum_scratch() {
+  thread_local RVec buf;
+  return buf;
+}
+
+RVec& power_scratch() {
   thread_local RVec buf;
   return buf;
 }
 
 /// |rfft(x·w zero-padded to n_fft)|² / (Σw)² accumulated (@p accumulate) or
 /// assigned into @p out (size n_fft/2+1). The shared core of periodogram and
-/// the restructured single-pass welch.
+/// the restructured single-pass welch. Window multiply, |·|², and the scaled
+/// accumulate all run through the SIMD kernel layer.
 void windowed_power_spectrum(std::span<const double> x, std::span<const double> w,
                              std::size_t n_fft, double inv_norm_sq, RVec& out,
                              bool accumulate) {
   RVec& buf = spectrum_scratch();
   buf.assign(n_fft, 0.0);
-  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = x[i] * w[i];
+  kernels::kapply_window(x, w, std::span<double>(buf).first(x.size()));
   const auto spec = rfft(buf);
   if (accumulate) {
-    for (std::size_t k = 0; k < out.size(); ++k)
-      out[k] += std::norm(spec[k]) * inv_norm_sq;
+    RVec& p = power_scratch();
+    p.resize(out.size());
+    kernels::knorm(std::span<const cdouble>(spec).first(out.size()), p);
+    kernels::kaxpy(inv_norm_sq, p, out);
   } else {
-    for (std::size_t k = 0; k < out.size(); ++k)
-      out[k] = std::norm(spec[k]) * inv_norm_sq;
+    kernels::knorm(std::span<const cdouble>(spec).first(out.size()), out);
+    kernels::kscale(std::span<double>(out), inv_norm_sq);
   }
 }
 

@@ -1,42 +1,30 @@
 #include "dsp/types.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include "dsp/kernels/kernels.hpp"
 
 namespace bis::dsp {
 
 RVec magnitude(std::span<const cdouble> xs) {
   RVec out(xs.size());
-  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = std::abs(xs[i]);
+  kernels::kmag(xs, out);
   return out;
 }
 
 RVec power(std::span<const cdouble> xs) {
   RVec out(xs.size());
-  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = std::norm(xs[i]);
+  kernels::knorm(xs, out);
   return out;
 }
 
 RVec magnitude_db(std::span<const cdouble> xs, double floor_db) {
   RVec out(xs.size());
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    const double mag = std::abs(xs[i]);
-    out[i] = mag > 0.0 ? std::max(20.0 * std::log10(mag), floor_db) : floor_db;
-  }
+  kernels::kmag_db(xs, out, floor_db);
   return out;
 }
 
-double energy(std::span<const cdouble> xs) {
-  double sum = 0.0;
-  for (const auto& x : xs) sum += std::norm(x);
-  return sum;
-}
+double energy(std::span<const cdouble> xs) { return kernels::ksum_sq(xs); }
 
-double energy(std::span<const double> xs) {
-  double sum = 0.0;
-  for (double x : xs) sum += x * x;
-  return sum;
-}
+double energy(std::span<const double> xs) { return kernels::ksum_sq(xs); }
 
 RVec remove_dc(std::span<const double> xs) {
   RVec out(xs.begin(), xs.end());

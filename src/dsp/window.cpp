@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/constants.hpp"
+#include "dsp/kernels/kernels.hpp"
 #include "obs/metrics.hpp"
 
 namespace bis::dsp {
@@ -24,9 +25,9 @@ double bessel_i0(double x) {
   return sum;
 }
 
-std::vector<double> make_window(WindowType type, std::size_t n, double kaiser_beta) {
+RVec make_window(WindowType type, std::size_t n, double kaiser_beta) {
   BIS_CHECK(n > 0);
-  std::vector<double> w(n, 1.0);
+  RVec w(n, 1.0);
   if (n == 1) return w;
   const double denom = static_cast<double>(n - 1);
   switch (type) {
@@ -103,8 +104,7 @@ WindowPtr cached_window(WindowType type, std::size_t n, double kaiser_beta) {
   misses.add();
   // Build outside the lock; a racing builder computes identical values, and
   // the first insert wins so all callers converge on one copy.
-  auto w = std::make_shared<const std::vector<double>>(
-      make_window(type, n, kaiser_beta));
+  auto w = std::make_shared<const RVec>(make_window(type, n, kaiser_beta));
   std::lock_guard<std::mutex> lock(cache.mu);
   return cache.windows.emplace(key, std::move(w)).first->second;
 }
@@ -121,18 +121,18 @@ void window_cache_clear() {
   cache.windows.clear();
 }
 
-std::vector<double> apply_window(std::span<const double> x, std::span<const double> w) {
+RVec apply_window(std::span<const double> x, std::span<const double> w) {
   BIS_CHECK(x.size() == w.size());
-  std::vector<double> out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * w[i];
+  RVec out(x.size());
+  kernels::kapply_window(x, w, out);
   return out;
 }
 
-std::vector<std::complex<double>> apply_window(std::span<const std::complex<double>> x,
-                                               std::span<const double> w) {
+CVec apply_window(std::span<const std::complex<double>> x,
+                  std::span<const double> w) {
   BIS_CHECK(x.size() == w.size());
-  std::vector<std::complex<double>> out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * w[i];
+  CVec out(x.size());
+  kernels::kapply_window(x, w, out);
   return out;
 }
 

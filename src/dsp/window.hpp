@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "dsp/types.hpp"
+
 namespace bis::dsp {
 
 enum class WindowType {
@@ -23,10 +25,10 @@ enum class WindowType {
 };
 
 /// Generate an n-point window. @p kaiser_beta is only used for Kaiser.
-std::vector<double> make_window(WindowType type, std::size_t n, double kaiser_beta = 8.6);
+RVec make_window(WindowType type, std::size_t n, double kaiser_beta = 8.6);
 
 /// Shared immutable window handle returned by the cache.
-using WindowPtr = std::shared_ptr<const std::vector<double>>;
+using WindowPtr = std::shared_ptr<const RVec>;
 
 /// Memoized make_window keyed by (type, n, kaiser_beta). The radar pipeline
 /// windows every chirp and every slow-time column with one of a handful of
@@ -42,9 +44,10 @@ std::size_t window_cache_size();
 void window_cache_clear();
 
 /// Multiply a signal by a window of the same length (returns a copy).
-std::vector<double> apply_window(std::span<const double> x, std::span<const double> w);
-std::vector<std::complex<double>> apply_window(std::span<const std::complex<double>> x,
-                                               std::span<const double> w);
+/// Routed through the SIMD kernel layer (dsp/kernels).
+RVec apply_window(std::span<const double> x, std::span<const double> w);
+CVec apply_window(std::span<const std::complex<double>> x,
+                  std::span<const double> w);
 
 /// Sum of window samples (coherent gain·N), used to normalize FFT amplitude.
 double window_sum(std::span<const double> w);

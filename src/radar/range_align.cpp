@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "dsp/kernels/kernels.hpp"
 #include "dsp/resample.hpp"
 #include "obs/trace.hpp"
 
@@ -95,11 +96,18 @@ void subtract_background(AlignedProfiles& profiles, std::size_t background_row) 
   // Rows other than the background are independent of it, and the
   // background row itself is handled last (it becomes exactly zero).
   const dsp::CVec& background = profiles.rows[background_row];
+  // Complex subtraction is component-wise, so each row is its 2n interleaved
+  // reals and row −= background is kaxpy with a = −1 (x + (−1)·y ≡ x − y
+  // bit-for-bit in IEEE-754).
+  const std::span<const double> bg_flat(
+      reinterpret_cast<const double*>(background.data()), 2 * background.size());
   for (std::size_t r = 0; r < profiles.rows.size(); ++r) {
     if (r == background_row) continue;
     auto& row = profiles.rows[r];
     BIS_CHECK(row.size() == background.size());
-    for (std::size_t i = 0; i < row.size(); ++i) row[i] -= background[i];
+    dsp::kernels::kaxpy(
+        -1.0, bg_flat,
+        std::span<double>(reinterpret_cast<double*>(row.data()), 2 * row.size()));
   }
   auto& bg = profiles.rows[background_row];
   std::fill(bg.begin(), bg.end(), dsp::cdouble(0.0, 0.0));

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/kernels/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -46,9 +47,11 @@ RangeProfile RangeProcessor::process(std::span<const dsp::cdouble> if_samples,
   RangeProfile profile;
   profile.bins = dsp::fft_padded(xw, n_fft);
   // Normalize by the window sum so tone amplitude is comparable across
-  // chirps with different sample counts (different CSSK durations).
+  // chirps with different sample counts (different CSSK durations). Scaled
+  // by the reciprocal through the kernel layer (one divide per chirp instead
+  // of one per bin).
   const double norm = dsp::window_sum(*w);
-  for (auto& b : profile.bins) b /= norm;
+  dsp::kernels::kscale(std::span<dsp::cdouble>(profile.bins), 1.0 / norm);
   profile.chirp = chirp;
   profile.sample_rate_hz = sample_rate_hz;
   profile.n_fft = n_fft;

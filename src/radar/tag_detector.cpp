@@ -8,6 +8,7 @@
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/kernels/kernels.hpp"
 #include "dsp/matched_filter.hpp"
 #include "dsp/peak.hpp"
 #include "dsp/window.hpp"
@@ -54,7 +55,7 @@ dsp::RVec TagDetector::slow_time_spectrum(const AlignedProfiles& profiles,
   // full complex transform.
   const auto spec = dsp::rfft_padded(xw, n_fft);
   dsp::RVec power(spec.size());
-  for (std::size_t k = 0; k < power.size(); ++k) power[k] = std::norm(spec[k]);
+  dsp::kernels::knorm(spec, power);
   return power;
 }
 
@@ -142,8 +143,8 @@ TagDetection TagDetector::detect(const AlignedProfiles& profiles,
     const auto s = score_block(profiles, blk * block, block, pool);
     const double peak = *std::max_element(s.metric.begin(), s.metric.end());
     const double norm = peak > 0.0 ? 1.0 / peak : 0.0;
+    dsp::kernels::kaxpy(norm, s.metric, metric);
     for (std::size_t b = 0; b < profiles.n_bins(); ++b) {
-      metric[b] += s.metric[b] * norm;
       tone_power[b] = std::max(tone_power[b], s.tone_power[b]);
       score[b] = std::max(score[b], s.score[b]);
     }

@@ -4,6 +4,8 @@
 
 #include "common/check.hpp"
 #include "common/constants.hpp"
+#include "dsp/kernels/kernels.hpp"
+#include "dsp/types.hpp"
 
 namespace bis::rf {
 
@@ -23,8 +25,12 @@ EnvelopeDetector::Output EnvelopeDetector::mix(const std::vector<ChirpCopy>& cop
   //   self terms   → DC  aᵢ²/2,
   //   cross terms  → tone at α·(τⱼ−τᵢ) with amplitude aᵢ·aⱼ and phase
   //                  2π(f0·Δτ − (α/2)(τⱼ²−τᵢ²)) + (θᵢ−θⱼ).
+  // The DC term is Σ g·aᵢ²/2 = (g/2)·Σ aᵢ²; the sum of squares runs through
+  // the kernel layer's lane-blocked reduction.
+  dsp::RVec amps(copies.size());
+  for (std::size_t i = 0; i < copies.size(); ++i) amps[i] = copies[i].amplitude;
+  out.dc = 0.5 * config_.conversion_gain * dsp::kernels::ksum_sq(amps);
   for (std::size_t i = 0; i < copies.size(); ++i) {
-    out.dc += config_.conversion_gain * copies[i].amplitude * copies[i].amplitude / 2.0;
     for (std::size_t j = i + 1; j < copies.size(); ++j) {
       const double dtau = copies[j].delay_s - copies[i].delay_s;
       const double freq = std::abs(slope_hz_per_s * dtau);

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/constants.hpp"
 #include "common/units.hpp"
+#include "dsp/kernels/kernels.hpp"
 #include "dsp/oscillator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -119,10 +120,13 @@ void TagFrontend::synthesize_period(const rf::ChirpParams& chirp,
   for (std::size_t base = 0; base < n_total; base += kChunk) {
     const std::size_t n = std::min(kChunk, n_total - base);
     rng_.fill_gaussian(std::span<double>(noise, n));
-    for (std::size_t i = 0; i < n; ++i) {
-      const double v = gain_ * (out[base + i] + noise_rms * noise[i]);
-      out[base + i] = adc_.quantize(v);
-    }
+    // PGA apply v = gain·(signal + noise_rms·deviate) through the kernel
+    // layer (same association as the fused scalar loop it replaces), then
+    // the branchy ADC quantizer per sample.
+    const std::span<double> chunk = out.subspan(base, n);
+    dsp::kernels::kscale_add(chunk, gain_, noise_rms,
+                             std::span<const double>(noise, n));
+    for (double& v : chunk) v = adc_.quantize(v);
   }
 }
 
