@@ -1,0 +1,317 @@
+/// Streaming link-server harness: measures multi-link throughput of the
+/// staged pipeline engine and verifies its two hard contracts, writing
+/// BENCH_server.json:
+///   1. determinism — per-link decoded bits and report outcome counters
+///      bit-identical to the sequential LinkSimulator at 1/2/4 workers;
+///   2. zero-allocation steady state — after a warmup round, whole rounds of
+///      frames execute without a single call to operator new (asserted via a
+///      global allocation-counting hook in this TU);
+///   3. throughput rows — frames/sec for 64/256/1024 links at several worker
+///      counts, with per-stage busy/queue-wait breakdowns. Rows that
+///      oversubscribe the host (workers > hardware threads) are flagged
+///      "valid": false and excluded from the headline speedup, following the
+///      BENCH_sweep.json convention.
+/// Exits nonzero on any determinism or allocation failure so CI asserts
+/// correctness without depending on flaky timing thresholds.
+///
+/// CI smoke mode: `bench_server --smoke` runs only the correctness gates
+/// (64-link determinism diff vs sequential + the zero-alloc assert).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/link_server.hpp"
+#include "dsp/resample.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation-counting hook. Every operator new in the process funnels through
+// here; the bench arms the counter around steady-state rounds to prove the
+// frame loop performs no heap allocation once capacities are warm.
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t) { return counted_alloc(n); }
+void* operator new[](std::size_t n, std::align_val_t) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace bis;
+using Clock = std::chrono::steady_clock;
+
+/// Light OOK link: 2 bits/frame → 32 chirps/frame. Small enough to hold
+/// 2×1024 frames in flight, heavy enough that every stage does real DSP.
+core::LinkServerConfig server_config(std::size_t links, std::size_t workers) {
+  core::LinkServerConfig cfg;
+  cfg.base.seed = 20240808;
+  cfg.base.tag_range_m = 4.0;
+  cfg.base.tag.node.uplink.scheme = phy::UplinkScheme::kOok;
+  cfg.base.tag.node.uplink.mod_frequencies_hz = {2000.0};
+  cfg.base.tag.node.uplink.chirps_per_symbol = 16;
+  cfg.n_links = links;
+  cfg.workers = workers;
+  cfg.bits_per_frame = 2;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Gate 1: determinism vs the sequential reference.
+
+bool check_determinism(std::size_t links, std::size_t frames) {
+  const auto reference =
+      core::run_links_sequential(server_config(links, 1), frames);
+  bool ok = true;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    core::LinkServer server(server_config(links, workers));
+    server.run(frames);
+    for (std::size_t i = 0; i < links; ++i) {
+      if (server.link(i).report().outcome_key() !=
+              reference[i].report.outcome_key() ||
+          server.decoded_bits(i) != reference[i].decoded_bits) {
+        std::fprintf(stderr,
+                     "DETERMINISM FAILURE: link %zu diverges from the "
+                     "sequential reference at %zu workers\n",
+                     i, workers);
+        ok = false;
+      }
+    }
+  }
+  std::printf("determinism: %zu links x %zu frames at 1/2/4 workers: %s\n",
+              links, frames, ok ? "bit-identical" : "FAIL");
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Gate 2: zero-allocation steady state.
+
+bool check_zero_alloc(std::uint64_t& steady_allocs) {
+  auto cfg = server_config(/*links=*/4, /*workers=*/1);
+  cfg.collect_bits = false;  // the bit log is the one intentionally growing
+                             // artifact; everything else must be in place
+  core::LinkServer server(cfg);
+  server.run(2);  // warm every job buffer, plan cache, thread_local scratch
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  server.run(3);
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  steady_allocs = g_alloc_count.load(std::memory_order_relaxed);
+  std::printf("zero-alloc: %llu allocation(s) across 3 steady-state rounds "
+              "(4 links): %s\n",
+              static_cast<unsigned long long>(steady_allocs),
+              steady_allocs == 0 ? "ok" : "FAIL");
+  return steady_allocs == 0;
+}
+
+/// Hidden diagnostic (`--alloc-debug`): per-stage allocation counts for one
+/// warm frame, to pinpoint regressions when the zero-alloc gate fails.
+void alloc_debug() {
+  auto cfg = server_config(1, 1);
+  core::LinkSimulator sim(core::link_config(cfg, 0),
+                          cfg.base.make_alphabet());
+  core::UplinkFrameJob job;
+  const phy::Bits bits = {1, 0};
+  sim.warm_caches();
+  for (int warm = 0; warm < 3; ++warm) {
+    job.reset_result();
+    sim.prepare_uplink_frame(bits, cfg.downlink_active, job);
+    sim.stage_synthesize(job);
+    sim.stage_range_fft(job, nullptr);
+    sim.stage_if_correct(job, nullptr);
+    sim.stage_detect(job, nullptr);
+    sim.stage_decode(job);
+    sim.fold_uplink_frame(job);
+  }
+  const auto count = [&](const char* name, auto&& fn) {
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+    fn();
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    std::printf("  %-12s %llu alloc(s)\n", name,
+                static_cast<unsigned long long>(
+                    g_alloc_count.load(std::memory_order_relaxed)));
+  };
+  job.reset_result();
+  count("prepare", [&] { sim.prepare_uplink_frame(bits, cfg.downlink_active, job); });
+  count("synthesize", [&] { sim.stage_synthesize(job); });
+  count("range_fft", [&] { sim.stage_range_fft(job, nullptr); });
+  const auto rg0 = dsp::regrid_plan_cache_stats();
+  count("if_correct", [&] { sim.stage_if_correct(job, nullptr); });
+  const auto rg1 = dsp::regrid_plan_cache_stats();
+  std::printf("  (regrid cache: +%llu hits, +%llu misses, %llu plans)\n",
+              static_cast<unsigned long long>(rg1.hits - rg0.hits),
+              static_cast<unsigned long long>(rg1.misses - rg0.misses),
+              static_cast<unsigned long long>(rg1.plans));
+  std::printf("  (range grid: %zu bins, last %.9f m)\n",
+              job.aligned.range_grid.size(),
+              job.aligned.range_grid.empty() ? 0.0
+                                             : job.aligned.range_grid.back());
+  count("detect", [&] { sim.stage_detect(job, nullptr); });
+  count("decode", [&] { sim.stage_decode(job); });
+  count("fold", [&] { sim.fold_uplink_frame(job); });
+}
+
+// ---------------------------------------------------------------------------
+// Throughput rows.
+
+struct Row {
+  std::size_t links = 0;
+  std::size_t workers = 0;
+  std::size_t frames_per_link = 0;
+  double seconds = 0.0;
+  double frames_per_s = 0.0;
+  bool valid = true;
+  obs::StageQueueStats stages[obs::kServerStages];
+};
+
+Row measure_row(std::size_t links, std::size_t workers,
+                std::size_t frames_per_link, const phy::SlopeAlphabet& alphabet,
+                unsigned hardware_threads) {
+  Row row;
+  row.links = links;
+  row.workers = workers;
+  row.frames_per_link = frames_per_link;
+  row.valid = hardware_threads >= workers;
+  auto cfg = server_config(links, workers);
+  cfg.collect_bits = false;
+  core::LinkServer server(cfg, alphabet);
+  server.run(1);  // warmup round: capacity growth and plan-cache misses
+  const auto t0 = Clock::now();
+  server.run(frames_per_link);
+  row.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  row.frames_per_s =
+      static_cast<double>(links * frames_per_link) / row.seconds;
+  for (std::size_t s = 0; s < obs::kServerStages; ++s)
+    row.stages[s] = server.stats().snapshot(static_cast<obs::ServerStage>(s));
+  std::printf("links %5zu  workers %zu: %8.0f frames/s  (%.3f s)%s\n", links,
+              workers, row.frames_per_s, row.seconds,
+              row.valid ? "" : "  [invalid: oversubscribed]");
+  return row;
+}
+
+bool write_bench_json(const std::string& path) {
+  std::printf("--- link-server harness (writing %s) ---\n", path.c_str());
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+
+  const bool deterministic = check_determinism(/*links=*/8, /*frames=*/3);
+  std::uint64_t steady_allocs = 0;
+  const bool alloc_free = check_zero_alloc(steady_allocs);
+
+  // One shared alphabet: it depends only on radar/packet/tag parameters, so
+  // every row (and every link) reuses the same chirp tables.
+  const auto alphabet = server_config(1, 1).base.make_alphabet();
+  const std::vector<std::size_t> link_counts = {64, 256, 1024};
+  std::vector<std::size_t> worker_counts = {1, 2, 4};
+  if (hardware_threads > 4) worker_counts.push_back(hardware_threads);
+  std::vector<Row> rows;
+  for (const std::size_t links : link_counts) {
+    const std::size_t frames = links >= 1024 ? 2 : 4;
+    for (const std::size_t workers : worker_counts)
+      rows.push_back(measure_row(links, workers, frames, alphabet,
+                                 hardware_threads));
+  }
+
+  // Headline: best valid-row speedup over the matching 1-worker row.
+  double best_valid_speedup = 1.0;
+  for (const Row& row : rows) {
+    if (!row.valid || row.workers == 1) continue;
+    for (const Row& base : rows) {
+      if (base.links == row.links && base.workers == 1)
+        best_valid_speedup =
+            std::max(best_valid_speedup, row.frames_per_s / base.frames_per_s);
+    }
+  }
+  std::printf("headline speedup (valid rows): %.2fx\n", best_valid_speedup);
+
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"hardware_threads\": " << hardware_threads << ",\n";
+  out << "  \"determinism\": {\"links\": 8, \"frames\": 3, "
+         "\"worker_counts\": [1, 2, 4], \"bit_identical\": "
+      << (deterministic ? "true" : "false") << "},\n";
+  out << "  \"zero_alloc\": {\"steady_state_allocations\": " << steady_allocs
+      << ", \"ok\": " << (alloc_free ? "true" : "false") << "},\n";
+  out << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"links\": " << r.links << ", \"workers\": " << r.workers
+        << ", \"frames_per_link\": " << r.frames_per_link
+        << ", \"seconds\": " << r.seconds
+        << ", \"frames_per_s\": " << r.frames_per_s
+        << ", \"valid\": " << (r.valid ? "true" : "false") << ",\n";
+    out << "     \"stages\": {";
+    for (std::size_t s = 0; s < obs::kServerStages; ++s) {
+      const auto& st = r.stages[s];
+      out << (s == 0 ? "" : ", ") << "\""
+          << obs::server_stage_name(static_cast<obs::ServerStage>(s))
+          << "\": {\"frames\": " << st.frames
+          << ", \"max_depth\": " << st.max_depth << "}";
+    }
+    out << "}}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"best_valid_speedup\": " << best_valid_speedup << "\n";
+  out << "}\n";
+  return deterministic && alloc_free;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--alloc-debug") == 0) {
+      alloc_debug();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  if (smoke) {
+    // CI gate: correctness only — 64-link determinism diff vs the
+    // sequential reference plus the steady-state allocation assert.
+    const bool deterministic = check_determinism(/*links=*/64, /*frames=*/2);
+    std::uint64_t steady_allocs = 0;
+    const bool alloc_free = check_zero_alloc(steady_allocs);
+    return deterministic && alloc_free ? 0 : 1;
+  }
+
+  const bool ok = write_bench_json("BENCH_server.json");
+  if (!ok) std::fprintf(stderr, "CONTRACT FAILURE: see harness output above\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+/// Streaming multi-link server engine.
+///
+/// Advances several concurrent radar↔tag links through the staged frame
+/// pipeline (synthesize → range FFT → IF-correct → detect → decode) with a
+/// small worker crew pulling stage tokens from lock-free frame queues.
+/// Per-link reports stream out of on_link_done as each link finishes its
+/// round. The engine's determinism contract is checked at the end: decoded
+/// bits and outcome counters must be bit-identical to advancing the same
+/// links one frame at a time on a single thread.
+
+#include <cstdio>
+
+#include "core/link_server.hpp"
+
+int main() {
+  using namespace bis;
+
+  core::LinkServerConfig cfg;
+  cfg.base.seed = 7;
+  cfg.base.tag_range_m = 4.0;
+  cfg.base.tag.node.uplink.scheme = phy::UplinkScheme::kOok;
+  cfg.base.tag.node.uplink.mod_frequencies_hz = {2000.0};
+  cfg.base.tag.node.uplink.chirps_per_symbol = 16;
+  cfg.n_links = 8;
+  cfg.workers = 2;  // the calling thread is one of the two lanes
+  cfg.bits_per_frame = 2;
+  const std::size_t frames = 3;
+
+  core::LinkServer server(cfg);
+  server.on_link_done = [](std::size_t link, const core::LinkSimulator& sim) {
+    const obs::RunReport r = sim.report();
+    std::printf("  link %zu done: %llu frames, %llu/%llu bits correct, "
+                "SNR %.1f dB\n",
+                link, static_cast<unsigned long long>(r.uplink_frames),
+                static_cast<unsigned long long>(r.uplink_bits -
+                                                r.uplink_bit_errors),
+                static_cast<unsigned long long>(r.uplink_bits),
+                r.detection_attempts > 0
+                    ? r.detector_snr_sum_db /
+                          static_cast<double>(r.detection_attempts)
+                    : 0.0);
+  };
+
+  std::printf("running %zu links x %zu frames on %zu workers...\n",
+              cfg.n_links, frames, cfg.workers);
+  server.run(frames);
+
+  std::printf("\nper-stage pipeline stats:\n");
+  for (std::size_t s = 0; s < obs::kServerStages; ++s) {
+    const auto stage = static_cast<obs::ServerStage>(s);
+    const obs::StageQueueStats st = server.stats().snapshot(stage);
+    std::printf("  %-10s %4llu frames  max queue depth %llu\n",
+                obs::server_stage_name(stage),
+                static_cast<unsigned long long>(st.frames),
+                static_cast<unsigned long long>(st.max_depth));
+  }
+
+  // Determinism contract: the pipelined engine reproduces the sequential
+  // reference bit-for-bit at any worker count.
+  const auto reference = core::run_links_sequential(cfg, frames);
+  bool identical = true;
+  for (std::size_t i = 0; i < cfg.n_links; ++i) {
+    identical = identical &&
+                server.link(i).report().outcome_key() ==
+                    reference[i].report.outcome_key() &&
+                server.decoded_bits(i) == reference[i].decoded_bits;
+  }
+  std::printf("\npipelined == sequential: %s\n", identical ? "yes" : "NO");
+  return identical ? 0 : 1;
+}

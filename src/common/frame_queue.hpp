@@ -1,0 +1,177 @@
+#pragma once
+
+/// @file frame_queue.hpp
+/// Bounded lock-free queues for the streaming link-server engine. Frames in
+/// flight are small trivially-copyable handles (packed link/slot indices), so
+/// the queues trade generality for a fixed-capacity ring with no allocation
+/// after construction and no locks on either side:
+///   - MpmcFrameQueue: Dmitry Vyukov's bounded MPMC ring. Every stage of the
+///     pipeline is drained by the whole worker pool, so both ends are
+///     multi-producer/multi-consumer. Per-cell sequence numbers carry the
+///     acquire/release ordering; a push "fails" only when the ring is full
+///     (the server sizes rings so that can't happen in steady state).
+///   - SpscFrameQueue: classic single-producer/single-consumer ring with
+///     head/tail indices, for point-to-point handoff (cheaper: one
+///     acquire/release pair per transfer, no CAS).
+/// Both are TSan-clean: all cross-thread edges go through std::atomic.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+#include "common/check.hpp"
+
+namespace bis {
+
+namespace detail {
+/// Smallest power of two >= n (n >= 1), for ring-size rounding.
+inline std::size_t queue_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace detail
+
+/// Bounded multi-producer/multi-consumer queue (Vyukov ring). T must be
+/// trivially copyable — items are moved through ring cells by value.
+template <typename T>
+class MpmcFrameQueue {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "frame queues carry small trivially-copyable handles");
+
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit MpmcFrameQueue(std::size_t min_capacity)
+      : capacity_(detail::queue_pow2(min_capacity < 2 ? 2 : min_capacity)),
+        mask_(capacity_ - 1),
+        cells_(new Cell[capacity_]) {
+    for (std::size_t i = 0; i < capacity_; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpmcFrameQueue(const MpmcFrameQueue&) = delete;
+  MpmcFrameQueue& operator=(const MpmcFrameQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// False when the ring is full. On success the item is visible to any
+  /// consumer that subsequently pops it (release → acquire via the cell's
+  /// sequence number).
+  bool try_push(const T& value) {
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          cell.value = value;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded pos; retry with the new value.
+      } else if (diff < 0) {
+        return false;  // full: the cell still holds an unconsumed item
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// False when the ring is empty.
+  bool try_pop(T& out) {
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          out = cell.value;
+          cell.seq.store(pos + capacity_, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Racy size estimate (monitoring only — never use for flow control).
+  std::size_t approx_size() const {
+    const std::size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+    return enq >= deq ? enq - deq : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    T value;
+  };
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  // Producers and consumers touch different counters; keep them on separate
+  // cache lines so a busy producer doesn't false-share with consumers.
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+/// Bounded single-producer/single-consumer ring. Exactly one thread may
+/// push and exactly one (other) thread may pop.
+template <typename T>
+class SpscFrameQueue {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "frame queues carry small trivially-copyable handles");
+
+ public:
+  explicit SpscFrameQueue(std::size_t min_capacity)
+      : capacity_(detail::queue_pow2(min_capacity < 2 ? 2 : min_capacity)),
+        mask_(capacity_ - 1),
+        ring_(new T[capacity_]) {}
+
+  SpscFrameQueue(const SpscFrameQueue&) = delete;
+  SpscFrameQueue& operator=(const SpscFrameQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool try_push(const T& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= capacity_) return false;  // full
+    ring_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;  // empty
+    out = ring_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t approx_size() const {
+    return head_.load(std::memory_order_relaxed) -
+           tail_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<T[]> ring_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< Producer cursor.
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< Consumer cursor.
+};
+
+}  // namespace bis

@@ -77,7 +77,10 @@ double median(std::span<const double> xs) { return percentile(xs, 50.0); }
 double percentile(std::span<const double> xs, double pct) {
   BIS_CHECK(!xs.empty());
   BIS_CHECK(pct >= 0.0 && pct <= 100.0);
-  std::vector<double> sorted(xs.begin(), xs.end());
+  // Per-thread sort buffer: percentile/median sit on the detector's per-bin
+  // hot path, so repeated calls must not allocate once capacity is warm.
+  thread_local std::vector<double> sorted;
+  sorted.assign(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();
   const double pos = pct / 100.0 * static_cast<double>(sorted.size() - 1);

@@ -34,6 +34,7 @@ struct ForState {
   std::mutex mu;
   std::condition_variable done_cv;
   std::exception_ptr error;  ///< First exception, under mu.
+  bool rejected = false;     ///< Enqueue refused (pool stopped); run inline.
 
   void drain() {
     t_in_parallel_region = true;
@@ -70,13 +71,17 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;  // already shut down
     stop_ = true;
   }
   work_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {
@@ -121,25 +126,38 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   state->pending.store(n_tasks);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (std::size_t t = 0; t < n_tasks; ++t)
-      tasks_.emplace_back([state, telemetry, enqueue_ns] {
-        if (telemetry) {
-          static obs::Histogram& latency = obs::Registry::instance().histogram(
-              "bis.pool.task_latency_us",
-              obs::Histogram::exponential_bounds(1.0, 1e6, 25));
-          static obs::Counter& executed =
-              obs::Registry::instance().counter("bis.pool.tasks_executed");
-          latency.observe(static_cast<double>(pool_now_ns() - enqueue_ns) / 1e3);
-          executed.add();
-        }
-        state->drain();
-        state->finish_one();
-      });
-    if (telemetry) {
-      static obs::Gauge& depth =
-          obs::Registry::instance().gauge("bis.pool.queue_depth");
-      depth.set(static_cast<double>(tasks_.size()));
+    if (stop_) {
+      // The pool is shutting down (or already shut down): the workers either
+      // have exited or will exit without draining new work, so a task
+      // enqueued now would never run and the drain below would hang. Reject
+      // the enqueue deterministically and run the whole loop inline instead
+      // (outside the lock — fn may re-enter the pool).
+      state->rejected = true;
+    } else {
+      for (std::size_t t = 0; t < n_tasks; ++t)
+        tasks_.emplace_back([state, telemetry, enqueue_ns] {
+          if (telemetry) {
+            static obs::Histogram& latency = obs::Registry::instance().histogram(
+                "bis.pool.task_latency_us",
+                obs::Histogram::exponential_bounds(1.0, 1e6, 25));
+            static obs::Counter& executed =
+                obs::Registry::instance().counter("bis.pool.tasks_executed");
+            latency.observe(static_cast<double>(pool_now_ns() - enqueue_ns) / 1e3);
+            executed.add();
+          }
+          state->drain();
+          state->finish_one();
+        });
+      if (telemetry) {
+        static obs::Gauge& depth =
+            obs::Registry::instance().gauge("bis.pool.queue_depth");
+        depth.set(static_cast<double>(tasks_.size()));
+      }
     }
+  }
+  if (state->rejected) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
   }
   work_cv_.notify_all();
 
@@ -155,15 +173,6 @@ ThreadPool& global_pool() {
   static ThreadPool pool(
       std::max<std::size_t>(1, std::thread::hardware_concurrency()));
   return pool;
-}
-
-void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn) {
-  if (pool == nullptr || pool->size() <= 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  pool->parallel_for(begin, end, fn);
 }
 
 }  // namespace bis

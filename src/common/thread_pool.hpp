@@ -34,6 +34,13 @@ class ThreadPool {
   /// Total concurrency (worker threads + the calling thread).
   std::size_t size() const { return workers_.size() + 1; }
 
+  /// Stop accepting queued work and join every worker. parallel_for remains
+  /// usable afterwards: with the queue closed it deterministically runs the
+  /// whole loop inline on the caller (no task is ever enqueued against
+  /// joined workers, so nothing can race the join). Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
   /// Run fn(i) for every i in [begin, end), blocking until all complete.
   /// Items are claimed in chunks from a shared counter; since each item is
   /// independent and writes its own slot, output is deterministic. The first
@@ -58,8 +65,20 @@ class ThreadPool {
 ThreadPool& global_pool();
 
 /// Convenience wrapper: run fn(i) over [begin, end) on @p pool, or inline
-/// when @p pool is null or has a single lane.
+/// when @p pool is null or has a single lane. Templated on the callable so
+/// the inline path never materializes a std::function — the streaming
+/// engine's zero-allocation steady state depends on this: a capturing
+/// lambda larger than the small-buffer optimization would otherwise heap-
+/// allocate on every call even when the loop runs inline. On the pool path
+/// the callable is passed by reference_wrapper, which always fits the SBO.
+template <typename Fn>
 void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn);
+                  Fn&& fn) {
+  if (pool == nullptr || pool->size() <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  pool->parallel_for(begin, end, std::function<void(std::size_t)>(std::ref(fn)));
+}
 
 }  // namespace bis

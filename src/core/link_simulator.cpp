@@ -27,7 +27,32 @@ tag::TagNodeConfig prepare_tag_config(const SystemConfig& config) {
   return node;
 }
 
+radar::TagDetectorConfig make_uplink_detector_config(const phy::UplinkConfig& ul) {
+  radar::TagDetectorConfig det_cfg;
+  det_cfg.expected_mod_freq_hz = ul.mod_frequencies_hz.front();
+  if (ul.scheme == phy::UplinkScheme::kFsk)
+    det_cfg.candidate_mod_freqs_hz = ul.mod_frequencies_hz;
+  det_cfg.duty_cycle = ul.duty_cycle;
+  // FSK hops tones per symbol; integrate detection per block.
+  if (ul.scheme == phy::UplinkScheme::kFsk)
+    det_cfg.block_chirps = ul.chirps_per_symbol;
+  return det_cfg;
+}
+
 }  // namespace
+
+void UplinkFrameJob::reset_result() {
+  result.detection = radar::TagDetection{};
+  result.decode.symbols.clear();
+  result.decode.bits.clear();
+  result.decode.symbol_confidence.clear();
+  result.bit_errors = 0;
+  result.bits_compared = 0;
+  result.range_error_m = 0.0;
+  result.snr_processed_db = 0.0;
+  result.snr_per_chirp_db = 0.0;
+  result.downlink_active = false;
+}
 
 ThreadPool* resolve_dsp_pool(std::size_t dsp_threads,
                              std::unique_ptr<ThreadPool>& owned) {
@@ -48,7 +73,9 @@ LinkSimulator::LinkSimulator(const SystemConfig& config,
       rng_(config.seed),
       tag_(prepare_tag_config(config), alphabet_, Rng(config.seed ^ 0x7A67ull)),
       range_processor_(radar::RangeProcessorConfig{}),
-      aligner_(radar::RangeAlignConfig{}),
+      aligner_(config.if_correction),
+      uplink_detector_(make_uplink_detector_config(tag_.modulator().config())),
+      uplink_decoder_(tag_.modulator().config()),
       pool_(resolve_dsp_pool(config.dsp_threads, owned_pool_)) {
   // Telemetry: the toggle is process-wide (it gates spans/metrics inside
   // dsp/radar/tag code that has no SystemConfig), so an opted-in simulator
@@ -83,6 +110,42 @@ LinkSimulator::LinkSimulator(const SystemConfig& config,
                                                 f_c, spec.rcs_offset_db);
     scene_.clutter.push_back(
         {spec.range_m, std::sqrt(dbm_to_watts(p_dbm)), spec.phase_rad});
+  }
+
+  // Worst-case per-chirp buffer sizes over the whole alphabet, so job
+  // buffers can be reserved once instead of regrowing whenever CSSK happens
+  // to draw a longer chirp than a given slot has seen before.
+  const double fs = config_.radar.if_synth.sample_rate_hz;
+  for (std::size_t slot = 0; slot < alphabet_.slot_count(); ++slot) {
+    const auto n = static_cast<std::size_t>(
+        std::floor(alphabet_.chirp(slot).duration_s * fs));
+    if (n == 0) continue;
+    max_chirp_samples_ = std::max(max_chirp_samples_, n);
+    max_fft_bins_ =
+        std::max(max_fft_bins_, dsp::next_power_of_two(n) *
+                                    range_processor_.config().zero_pad_factor);
+  }
+}
+
+void LinkSimulator::warm_caches() const {
+  const double fs = config_.radar.if_synth.sample_rate_hz;
+  dsp::CVec silence;
+  radar::RangeProfile profile;
+  radar::AlignedProfiles aligned;
+  for (std::size_t slot = 0; slot < alphabet_.slot_count(); ++slot) {
+    const rf::ChirpParams chirp = alphabet_.chirp(slot);
+    const auto n = static_cast<std::size_t>(std::floor(chirp.duration_s * fs));
+    if (n == 0) continue;
+    // A dry range FFT builds this chirp length's window and FFT plan in the
+    // shared caches and sizes the calling thread's scratch; aligning the
+    // resulting (empty) profile builds the slot's regrid plan against the
+    // pinned grid — the exact (axis, grid) key frames will look up, since
+    // the axis depends only on the chirp metadata, never the samples.
+    silence.assign(n, dsp::cdouble(0.0, 0.0));
+    range_processor_.process_into(silence, chirp, fs, profile);
+    if (config_.if_correction.enabled)
+      aligner_.align_into(std::span<const radar::RangeProfile>(&profile, 1),
+                          nullptr, aligned);
   }
 }
 
@@ -192,135 +255,172 @@ void LinkSimulator::record_downlink(const DownlinkRunResult& result) {
 std::vector<radar::IfReturn> LinkSimulator::chirp_returns(
     double tag_amplitude_factor) const {
   std::vector<radar::IfReturn> returns;
-  returns.reserve(scene_.clutter.size() + 1);
-  for (const auto& c : scene_.clutter)
-    returns.push_back({c.range_m, c.amplitude_v, c.phase_rad});
-  if (scene_.has_tag && tag_amplitude_factor > 0.0) {
-    returns.push_back({scene_.tag_range_m,
-                       scene_.tag_amplitude_v * tag_amplitude_factor,
-                       scene_.tag_phase_rad});
-  }
+  chirp_returns_into(tag_amplitude_factor, returns);
   return returns;
 }
 
-UplinkRunResult LinkSimulator::process_uplink_frame(
-    const std::vector<rf::ChirpParams>& chirps, const std::vector<int>& tag_states,
-    const phy::Bits& sent_bits, bool downlink_active) {
-  BIS_TRACE_SPAN("core.uplink_frame");
-  BIS_CHECK(chirps.size() == tag_states.size());
-
-  ++report_.uplink_frames;
-  report_.chirps_processed += chirps.size();
-
-  radar::IfSynthesizer synth(config_.radar.if_synth, rng_.fork());
-  const double reflect =
-      db_to_amplitude(-config_.tag.node.frontend.rf_switch.insertion_loss_db);
-  const double leak =
-      db_to_amplitude(-config_.tag.node.frontend.rf_switch.isolation_db);
-
-  // Synthesis stays sequential: the synthesizer draws noise from one RNG
-  // stream whose consumption order must not depend on thread count. The DSP
-  // (range FFTs, alignment, slow-time scoring) is pure and fans across the
-  // pool with bit-identical results.
-  std::vector<dsp::CVec> if_samples(chirps.size());
-  double mean_samples = 0.0;
-  {
-    obs::StageTimer timer(report_.stage.if_synthesis_s);
-    for (std::size_t i = 0; i < chirps.size(); ++i) {
-      const double factor = tag_states[i] ? reflect : leak;
-      const auto returns = chirp_returns(factor);
-      if_samples[i] = synth.synthesize(chirps[i], returns);
-      mean_samples += static_cast<double>(if_samples[i].size());
-    }
+void LinkSimulator::chirp_returns_into(double tag_amplitude_factor,
+                                       std::vector<radar::IfReturn>& out) const {
+  out.clear();
+  out.reserve(scene_.clutter.size() + 1);
+  for (const auto& c : scene_.clutter)
+    out.push_back({c.range_m, c.amplitude_v, c.phase_rad});
+  if (scene_.has_tag && tag_amplitude_factor > 0.0) {
+    out.push_back({scene_.tag_range_m,
+                   scene_.tag_amplitude_v * tag_amplitude_factor,
+                   scene_.tag_phase_rad});
   }
-  mean_samples /= static_cast<double>(chirps.size());
-
-  std::vector<radar::RangeProfile> profiles;
-  {
-    obs::StageTimer timer(report_.stage.range_fft_s);
-    profiles = range_processor_.process_frame(
-        if_samples, chirps, config_.radar.if_synth.sample_rate_hz, pool_);
-  }
-  radar::AlignedProfiles aligned;
-  {
-    obs::StageTimer timer(report_.stage.if_correction_s);
-    aligned = aligner_.align(profiles, pool_);
-    if (config_.use_background_subtraction)
-      radar::subtract_background(aligned, 0);
-  }
-
-  const auto& ul = tag_.modulator().config();
-  radar::TagDetectorConfig det_cfg;
-  det_cfg.expected_mod_freq_hz = ul.mod_frequencies_hz.front();
-  if (ul.scheme == phy::UplinkScheme::kFsk)
-    det_cfg.candidate_mod_freqs_hz = ul.mod_frequencies_hz;
-  det_cfg.duty_cycle = ul.duty_cycle;
-  // FSK hops tones per symbol; integrate detection per block.
-  if (ul.scheme == phy::UplinkScheme::kFsk)
-    det_cfg.block_chirps = ul.chirps_per_symbol;
-  const radar::TagDetector detector(det_cfg);
-
-  UplinkRunResult result;
-  result.downlink_active = downlink_active;
-  {
-    obs::StageTimer timer(report_.stage.detect_s);
-    result.detection = detector.detect(aligned, pool_);
-  }
-  result.snr_processed_db = result.detection.snr_db;
-  const double gain_db = 10.0 * std::log10(std::max(mean_samples, 1.0)) +
-                         10.0 * std::log10(static_cast<double>(chirps.size()));
-  result.snr_per_chirp_db = result.snr_processed_db - gain_db;
-
-  ++report_.detection_attempts;
-  report_.detector_snr_sum_db += result.detection.snr_db;
-  report_.last_detector_snr_db = result.detection.snr_db;
-  if (result.detection.found) ++report_.detections;
-  report_.uplink_bits += sent_bits.size();
-
-  result.bits_compared = sent_bits.size();
-  if (!result.detection.found) {
-    result.bit_errors = sent_bits.size();
-    result.range_error_m = std::abs(result.detection.range_m - scene_.tag_range_m);
-    report_.uplink_bit_errors += result.bit_errors;
-    return result;
-  }
-  result.range_error_m = std::abs(result.detection.range_m - scene_.tag_range_m);
-
-  if (chirps.size() < ul.chirps_per_symbol) return result;  // frame too short
-  const radar::UplinkDecoder decoder(ul);
-  {
-    obs::StageTimer timer(report_.stage.uplink_decode_s);
-    result.decode = decoder.decode(aligned, result.detection.grid_bin);
-  }
-  for (std::size_t i = 0; i < sent_bits.size(); ++i) {
-    if (i >= result.decode.bits.size() || result.decode.bits[i] != sent_bits[i])
-      ++result.bit_errors;
-  }
-  report_.uplink_bit_errors += result.bit_errors;
-  return result;
 }
 
-UplinkRunResult LinkSimulator::run_uplink(const phy::Bits& bits, bool downlink_active) {
+void LinkSimulator::prepare_uplink_frame(const phy::Bits& bits,
+                                         bool downlink_active,
+                                         UplinkFrameJob& job) {
   const auto& ul = tag_.modulator().config();
   const std::size_t bps = phy::uplink_bits_per_symbol(ul);
   const std::size_t n_symbols = (bits.size() + bps - 1) / bps;
   BIS_CHECK(n_symbols >= 1);
   const std::size_t n_chirps = n_symbols * ul.chirps_per_symbol;
 
+  job.sent_bits.assign(bits.begin(), bits.end());
+  job.downlink_active = downlink_active;
   tag_.modulator().queue_bits(bits);
-  const auto states = tag_.modulator().next_states(n_chirps);
+  tag_.modulator().next_states(n_chirps, job.tag_states);
 
-  std::vector<rf::ChirpParams> chirps;
-  chirps.reserve(n_chirps);
+  job.chirps.clear();
+  job.chirps.reserve(n_chirps);
   const std::size_t fixed_slot = alphabet_.slot_for_data(alphabet_.data_symbol_count() / 2);
   for (std::size_t i = 0; i < n_chirps; ++i) {
     const std::size_t slot =
         downlink_active
             ? alphabet_.slot_for_data(rng_.uniform_index(alphabet_.data_symbol_count()))
             : fixed_slot;
-    chirps.push_back(alphabet_.chirp(slot));
+    job.chirps.push_back(alphabet_.chirp(slot));
   }
-  return process_uplink_frame(chirps, states, bits, downlink_active);
+
+  // Reserve each per-chirp buffer at its alphabet-wide worst case. CSSK
+  // varies the chirp duration, so without this a job slot keeps reallocating
+  // every time position i draws a longer chirp than it has ever held — a
+  // coupon-collector process that would take unboundedly many frames to
+  // quiesce. After this, steady-state frames allocate nothing.
+  job.if_samples.resize(n_chirps);
+  for (auto& s : job.if_samples) s.reserve(max_chirp_samples_);
+  job.profiles.resize(n_chirps);
+  for (auto& p : job.profiles) p.bins.reserve(max_fft_bins_);
+}
+
+void LinkSimulator::stage_synthesize(UplinkFrameJob& job) {
+  BIS_CHECK(job.chirps.size() == job.tag_states.size());
+  // Synthesis stays sequential within a frame: the synthesizer draws noise
+  // from one RNG stream whose consumption order must not depend on thread
+  // count. The downstream DSP (range FFTs, alignment, slow-time scoring) is
+  // pure and fans across the pool with bit-identical results.
+  radar::IfSynthesizer synth(config_.radar.if_synth, rng_.fork());
+  const double reflect =
+      db_to_amplitude(-config_.tag.node.frontend.rf_switch.insertion_loss_db);
+  const double leak =
+      db_to_amplitude(-config_.tag.node.frontend.rf_switch.isolation_db);
+  job.if_samples.resize(job.chirps.size());
+  double mean_samples = 0.0;
+  for (std::size_t i = 0; i < job.chirps.size(); ++i) {
+    const double factor = job.tag_states[i] ? reflect : leak;
+    chirp_returns_into(factor, job.returns_scratch);
+    synth.synthesize_into(job.chirps[i], job.returns_scratch, job.if_samples[i]);
+    mean_samples += static_cast<double>(job.if_samples[i].size());
+  }
+  job.mean_samples = mean_samples / static_cast<double>(job.chirps.size());
+}
+
+void LinkSimulator::stage_range_fft(UplinkFrameJob& job, ThreadPool* pool) const {
+  range_processor_.process_frame_into(job.if_samples, job.chirps,
+                                      config_.radar.if_synth.sample_rate_hz,
+                                      pool, job.profiles);
+}
+
+void LinkSimulator::stage_if_correct(UplinkFrameJob& job, ThreadPool* pool) const {
+  aligner_.align_into(job.profiles, pool, job.aligned);
+  if (config_.use_background_subtraction)
+    radar::subtract_background(job.aligned, 0);
+}
+
+void LinkSimulator::stage_detect(UplinkFrameJob& job, ThreadPool* pool) const {
+  job.result.downlink_active = job.downlink_active;
+  job.result.detection = uplink_detector_.detect(job.aligned, pool);
+  job.result.snr_processed_db = job.result.detection.snr_db;
+  const double gain_db =
+      10.0 * std::log10(std::max(job.mean_samples, 1.0)) +
+      10.0 * std::log10(static_cast<double>(job.chirps.size()));
+  job.result.snr_per_chirp_db = job.result.snr_processed_db - gain_db;
+  job.result.bits_compared = job.sent_bits.size();
+  job.result.range_error_m =
+      std::abs(job.result.detection.range_m - scene_.tag_range_m);
+  if (!job.result.detection.found) job.result.bit_errors = job.sent_bits.size();
+}
+
+void LinkSimulator::stage_decode(UplinkFrameJob& job) const {
+  if (!job.result.detection.found) return;
+  const std::size_t block = uplink_decoder_.config().chirps_per_symbol;
+  if (job.chirps.size() < block) return;  // frame too short to decode
+  uplink_decoder_.decode_into(job.aligned, job.result.detection.grid_bin,
+                              job.result.decode);
+  for (std::size_t i = 0; i < job.sent_bits.size(); ++i) {
+    if (i >= job.result.decode.bits.size() ||
+        job.result.decode.bits[i] != job.sent_bits[i])
+      ++job.result.bit_errors;
+  }
+}
+
+void LinkSimulator::fold_uplink_frame(const UplinkFrameJob& job) {
+  ++report_.uplink_frames;
+  report_.chirps_processed += job.chirps.size();
+  ++report_.detection_attempts;
+  report_.detector_snr_sum_db += job.result.detection.snr_db;
+  report_.last_detector_snr_db = job.result.detection.snr_db;
+  if (job.result.detection.found) ++report_.detections;
+  report_.uplink_bits += job.sent_bits.size();
+  report_.uplink_bit_errors += job.result.bit_errors;
+}
+
+UplinkRunResult LinkSimulator::run_prepared_frame(UplinkFrameJob& job) {
+  BIS_TRACE_SPAN("core.uplink_frame");
+  job.reset_result();
+  {
+    obs::StageTimer timer(report_.stage.if_synthesis_s);
+    stage_synthesize(job);
+  }
+  {
+    obs::StageTimer timer(report_.stage.range_fft_s);
+    stage_range_fft(job, pool_);
+  }
+  {
+    obs::StageTimer timer(report_.stage.if_correction_s);
+    stage_if_correct(job, pool_);
+  }
+  {
+    obs::StageTimer timer(report_.stage.detect_s);
+    stage_detect(job, pool_);
+  }
+  {
+    obs::StageTimer timer(report_.stage.uplink_decode_s);
+    stage_decode(job);
+  }
+  fold_uplink_frame(job);
+  return job.result;
+}
+
+UplinkRunResult LinkSimulator::process_uplink_frame(
+    const std::vector<rf::ChirpParams>& chirps, const std::vector<int>& tag_states,
+    const phy::Bits& sent_bits, bool downlink_active) {
+  BIS_CHECK(chirps.size() == tag_states.size());
+  seq_job_.sent_bits.assign(sent_bits.begin(), sent_bits.end());
+  seq_job_.downlink_active = downlink_active;
+  seq_job_.chirps.assign(chirps.begin(), chirps.end());
+  seq_job_.tag_states.assign(tag_states.begin(), tag_states.end());
+  return run_prepared_frame(seq_job_);
+}
+
+UplinkRunResult LinkSimulator::run_uplink(const phy::Bits& bits, bool downlink_active) {
+  prepare_uplink_frame(bits, downlink_active, seq_job_);
+  return run_prepared_frame(seq_job_);
 }
 
 IsacRunResult LinkSimulator::run_integrated(const phy::Bits& downlink_payload,

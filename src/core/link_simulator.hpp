@@ -57,6 +57,31 @@ struct IsacRunResult {
   UplinkRunResult uplink;
 };
 
+/// One uplink frame flowing through the staged pipeline. The job owns every
+/// buffer the stages touch (inputs, per-stage intermediates, result), so a
+/// frame processed with warm capacities allocates nothing — the streaming
+/// LinkServer double-buffers two jobs per link and recycles them forever.
+struct UplinkFrameJob {
+  // Inputs, filled by prepare_uplink_frame.
+  phy::Bits sent_bits;
+  bool downlink_active = false;
+  std::vector<rf::ChirpParams> chirps;
+  std::vector<int> tag_states;
+  // Per-stage intermediates.
+  std::vector<dsp::CVec> if_samples;
+  double mean_samples = 0.0;
+  std::vector<radar::RangeProfile> profiles;
+  radar::AlignedProfiles aligned;
+  std::vector<radar::IfReturn> returns_scratch;
+  // Output.
+  UplinkRunResult result;
+
+  /// Clear the result's vectors (capacity retained) and zero its scalars.
+  /// (Assigning a fresh UplinkRunResult would drop the vector capacity and
+  /// put an allocation back on the steady-state path.)
+  void reset_result();
+};
+
 class LinkSimulator {
  public:
   explicit LinkSimulator(const SystemConfig& config);
@@ -84,6 +109,40 @@ class LinkSimulator {
   /// Fully integrated frame: downlink packet + uplink bits + localization.
   IsacRunResult run_integrated(const phy::Bits& downlink_payload,
                                const phy::Bits& uplink_bits);
+
+  // ---- Streaming-engine stage API (used by core::LinkServer) ----
+  //
+  // An uplink frame advances prepare → synthesize → range_fft → if_correct
+  // → detect → decode → fold. prepare/synthesize/fold mutate per-link state
+  // (tag modulator, RNG, report) and must run frame-ordered on one thread at
+  // a time per link; the const stages are pure per-job maps, safe on any
+  // worker thread. Running the stages in order on one job reproduces
+  // run_uplink bit-for-bit.
+
+  /// Queue @p bits on the tag, draw the frame's chirp schedule, and fill the
+  /// job's inputs. Consumes per-link RNG exactly like run_uplink.
+  void prepare_uplink_frame(const phy::Bits& bits, bool downlink_active,
+                            UplinkFrameJob& job);
+  /// Synthesize per-chirp IF returns (forks the per-link RNG once — must
+  /// follow prepare_uplink_frame for the same frame immediately in RNG
+  /// order).
+  void stage_synthesize(UplinkFrameJob& job);
+  void stage_range_fft(UplinkFrameJob& job, ThreadPool* pool) const;
+  void stage_if_correct(UplinkFrameJob& job, ThreadPool* pool) const;
+  void stage_detect(UplinkFrameJob& job, ThreadPool* pool) const;
+  void stage_decode(UplinkFrameJob& job) const;
+  /// Accumulate the finished frame into the link's report (frame-ordered).
+  void fold_uplink_frame(const UplinkFrameJob& job);
+
+  /// Pre-build every size-dependent shared cache entry (Hann windows, FFT
+  /// plans, and — when the IF-correction grid is pinned via
+  /// SystemConfig::if_correction — regrid plans) for every chirp in the
+  /// alphabet, and grow the calling thread's thread_local DSP scratch to the
+  /// worst-case chirp size. One dry pure pass per alphabet slot; touches no
+  /// RNG or report state. The streaming engine calls this from each pipeline
+  /// lane so steady-state frames never miss a plan cache, which would
+  /// allocate. Safe to call concurrently.
+  void warm_caches() const;
 
   // ---- Analytic link quantities (benchmark axes) ----
 
@@ -121,11 +180,18 @@ class LinkSimulator {
  private:
   /// IF returns for one chirp given the tag's reflective amplitude factor.
   std::vector<radar::IfReturn> chirp_returns(double tag_amplitude_factor) const;
+  void chirp_returns_into(double tag_amplitude_factor,
+                          std::vector<radar::IfReturn>& out) const;
 
   UplinkRunResult process_uplink_frame(const std::vector<rf::ChirpParams>& chirps,
                                        const std::vector<int>& tag_states,
                                        const phy::Bits& sent_bits,
                                        bool downlink_active);
+
+  /// Drive a job whose inputs are filled through all stages (with the
+  /// sequential-path stage timers) and fold it. Backs run_uplink and
+  /// process_uplink_frame.
+  UplinkRunResult run_prepared_frame(UplinkFrameJob& job);
 
   /// Fold a finished downlink decode into report_ (shared by run_downlink
   /// and run_integrated).
@@ -138,8 +204,18 @@ class LinkSimulator {
   radar::Scene scene_;
   radar::RangeProcessor range_processor_;
   radar::RangeAligner aligner_;
+  radar::TagDetector uplink_detector_;   ///< Shared across frames — the
+                                         ///< detector config is fixed by the
+                                         ///< tag's uplink config.
+  radar::UplinkDecoder uplink_decoder_;
   std::unique_ptr<ThreadPool> owned_pool_;  ///< When config_.dsp_threads > 1.
   ThreadPool* pool_ = nullptr;              ///< nullptr = sequential.
+  UplinkFrameJob seq_job_;  ///< Reused by the sequential run_* path.
+  std::size_t max_chirp_samples_ = 0;  ///< Worst case over the alphabet —
+  std::size_t max_fft_bins_ = 0;       ///< prepare_uplink_frame reserves
+                                       ///< these so per-chirp buffers never
+                                       ///< regrow when CSSK draws a longer
+                                       ///< chirp than a job slot has seen.
   obs::RunReport report_;                   ///< Accumulated run telemetry.
   std::uint64_t fft_hits_baseline_ = 0;     ///< Plan-cache counts at ctor /
   std::uint64_t fft_misses_baseline_ = 0;   ///< reset_report, for deltas.

@@ -181,7 +181,7 @@ std::vector<TagObservation> BiScatterNetwork::sense_all(bool downlink_active) {
         if_samples, chirps, base.radar.if_synth.sample_rate_hz, pool_);
   }
 
-  radar::RangeAligner aligner{radar::RangeAlignConfig{}};
+  radar::RangeAligner aligner{base.if_correction};
   radar::AlignedProfiles aligned;
   {
     obs::StageTimer timer(report_.stage.if_correction_s);

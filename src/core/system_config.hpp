@@ -15,6 +15,7 @@
 #include "phy/slope_alphabet.hpp"
 #include "phy/uplink.hpp"
 #include "radar/if_synthesizer.hpp"
+#include "radar/range_align.hpp"
 #include "rf/channel.hpp"
 #include "rf/link_budget.hpp"
 #include "tag/tag_node.hpp"
@@ -67,6 +68,14 @@ struct SystemConfig {
   bool gray_coding = true;           ///< Gray-map data symbols onto slope
                                      ///< slots (ablation knob).
   bool use_background_subtraction = true;
+  radar::RangeAlignConfig if_correction;  ///< IF-correction (range alignment)
+                                     ///< stage. Defaults derive the grid per
+                                     ///< frame from the chirps present; the
+                                     ///< streaming link server pins
+                                     ///< grid_bins/max_range_m to the whole
+                                     ///< alphabet so the grid — and the
+                                     ///< regrid-plan cache working set — is
+                                     ///< identical for every frame.
   std::uint64_t seed = 1;
   std::size_t dsp_threads = 0;       ///< Frame-level DSP concurrency: 0 =
                                      ///< shared hardware-sized pool, 1 =

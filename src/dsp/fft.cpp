@@ -360,8 +360,9 @@ PlanCache& plan_cache() {
   return cache;
 }
 
-CVec fft_bluestein_with_plan(std::span<const cdouble> x, const FftPlan& plan,
-                             bool inverse) {
+void fft_bluestein_with_plan_into(std::span<const cdouble> x,
+                                  const FftPlan& plan, bool inverse,
+                                  CVec& out) {
   const std::size_t n = plan.n;
   const std::size_t m = plan.m;
   const RVec& cr = inverse ? plan.chirp_re_inv : plan.chirp_re_fwd;
@@ -390,20 +391,24 @@ CVec fft_bluestein_with_plan(std::span<const cdouble> x, const FftPlan& plan,
   fft_pow2_with_plan(ar, ai, *plan.conv_plan, /*inverse=*/true);
   const double inv_m = 1.0 / static_cast<double>(m);
 
-  CVec out(n);
+  out.resize(n);
   for (std::size_t k = 0; k < n; ++k) {  // out[k] = (a[k]·inv_m)·chirp[k]
     const double sr = ar[k] * inv_m, si = ai[k] * inv_m;
     out[k] = cdouble(sr * cr[k] - si * ci[k], sr * ci[k] + si * cr[k]);
   }
-  return out;
 }
 
-CVec transform(std::span<const cdouble> x, bool inverse) {
+/// Core transform writing into a caller-owned output vector: allocation-free
+/// once out has capacity n (and the per-thread scratch is warm).
+void transform_into(std::span<const cdouble> x, bool inverse, CVec& out) {
   const std::size_t n = x.size();
-  if (n == 0) return {};
+  if (n == 0) {
+    out.clear();
+    return;
+  }
   const auto plan = plan_cache().get(n);
-  CVec out(n);
   if (is_power_of_two(n)) {
+    out.resize(n);
     FftScratch& sc = scratch();
     sc.ensure(n);
     double* __restrict xr = sc.re.data();
@@ -415,12 +420,17 @@ CVec transform(std::span<const cdouble> x, bool inverse) {
     fft_pow2_with_plan(xr, xi, *plan, inverse);
     for (std::size_t i = 0; i < n; ++i) out[i] = cdouble(xr[i], xi[i]);
   } else {
-    out = fft_bluestein_with_plan(x, *plan, inverse);
+    fft_bluestein_with_plan_into(x, *plan, inverse, out);
   }
   if (inverse) {
     const double inv_n = 1.0 / static_cast<double>(n);
     for (auto& v : out) v *= inv_n;
   }
+}
+
+CVec transform(std::span<const cdouble> x, bool inverse) {
+  CVec out;
+  transform_into(x, inverse, out);
   return out;
 }
 
@@ -456,12 +466,19 @@ CVec fft_real(std::span<const double> x) {
   return fft(cx);
 }
 
-CVec fft_padded(std::span<const cdouble> x, std::size_t n_fft) {
+void fft_padded_into(std::span<const cdouble> x, std::size_t n_fft, CVec& out) {
   BIS_CHECK(n_fft > 0);
-  CVec cx(n_fft, cdouble(0.0, 0.0));
+  thread_local CVec cx;
+  cx.assign(n_fft, cdouble(0.0, 0.0));
   const std::size_t n = std::min(x.size(), n_fft);
   for (std::size_t i = 0; i < n; ++i) cx[i] = x[i];
-  return fft(cx);
+  transform_into(cx, /*inverse=*/false, out);
+}
+
+CVec fft_padded(std::span<const cdouble> x, std::size_t n_fft) {
+  CVec out;
+  fft_padded_into(x, n_fft, out);
+  return out;
 }
 
 CVec fft_real_padded(std::span<const double> x, std::size_t n_fft) {
@@ -482,16 +499,23 @@ CVec fft_real_padded(std::span<const double> x, std::size_t n_fft) {
 #define BIS_SCALAR_LOOP
 #endif
 
-BIS_SCALAR_LOOP CVec rfft(std::span<const double> x) {
+BIS_SCALAR_LOOP void rfft_into(std::span<const double> x, CVec& out) {
   const std::size_t n = x.size();
-  if (n == 0) return {};
-  if (n == 1) return {cdouble(x[0], 0.0)};
+  if (n == 0) {
+    out.clear();
+    return;
+  }
+  if (n == 1) {
+    out.assign(1, cdouble(x[0], 0.0));
+    return;
+  }
   if (n % 2 != 0) {
     // Odd length: no even/odd split — run the full complex transform and
     // keep the one-sided bins (numerically identical to fft_real).
     CVec full = fft_real(x);
     full.resize(n / 2 + 1);
-    return full;
+    out = std::move(full);
+    return;
   }
   const std::size_t h = n / 2;
   const auto plan = plan_cache().get_rfft(n);
@@ -502,14 +526,15 @@ BIS_SCALAR_LOOP CVec rfft(std::span<const double> x) {
   packed.resize(h);
   for (std::size_t k = 0; k < h; ++k)
     packed[k] = cdouble(x[2 * k], x[2 * k + 1]);
-  const CVec z = fft(packed);
+  thread_local CVec z;
+  transform_into(packed, /*inverse=*/false, z);
 
   // Untangle: E[k] = (Z[k] + conj(Z[h−k]))/2, O[k] = −j(Z[k] − conj(Z[h−k]))/2,
   // X[k] = E[k] + e^{−j2πk/n}·O[k] for k ∈ [0, h] (Z indices mod h). Only
   // k = 0 and k = h wrap, and both collapse to Z[0] with W^0 = 1, W^h = −1:
   // X[0] = Re Z[0] + Im Z[0], X[h] = Re Z[0] − Im Z[0], both purely real.
   // Handling them outside the loop keeps the hot path free of index modulos.
-  CVec out(h + 1);
+  out.resize(h + 1);
   out[0] = cdouble(z[0].real() + z[0].imag(), 0.0);
   out[h] = cdouble(z[0].real() - z[0].imag(), 0.0);
   const double* __restrict twr = plan->tw_re.data();
@@ -526,17 +551,31 @@ BIS_SCALAR_LOOP CVec rfft(std::span<const double> x) {
     out[k] = cdouble(er + twr[k] * od - twi[k] * oi,
                      ei + twr[k] * oi + twi[k] * od);
   }
+}
+
+CVec rfft(std::span<const double> x) {
+  CVec out;
+  rfft_into(x, out);
   return out;
 }
 
-CVec rfft_padded(std::span<const double> x, std::size_t n_fft) {
+void rfft_padded_into(std::span<const double> x, std::size_t n_fft, CVec& out) {
   BIS_CHECK(n_fft > 0);
-  if (x.size() == n_fft) return rfft(x);
+  if (x.size() == n_fft) {
+    rfft_into(x, out);
+    return;
+  }
   thread_local RVec padded;
   padded.assign(n_fft, 0.0);
   const std::size_t n = std::min(x.size(), n_fft);
   for (std::size_t i = 0; i < n; ++i) padded[i] = x[i];
-  return rfft(padded);
+  rfft_into(padded, out);
+}
+
+CVec rfft_padded(std::span<const double> x, std::size_t n_fft) {
+  CVec out;
+  rfft_padded_into(x, n_fft, out);
+  return out;
 }
 
 BIS_SCALAR_LOOP RVec irfft(std::span<const cdouble> spectrum, std::size_t n) {

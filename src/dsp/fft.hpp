@@ -46,6 +46,12 @@ CVec fft_real(std::span<const double> x);
 CVec fft_padded(std::span<const cdouble> x, std::size_t n_fft);
 CVec fft_real_padded(std::span<const double> x, std::size_t n_fft);
 
+/// Allocation-free variant: writes the spectrum into @p out (resized to
+/// n_fft; steady state reuses its capacity). Bit-identical to fft_padded.
+/// The streaming link server runs thousands of frames per second, so the
+/// hot path must not allocate per transform.
+void fft_padded_into(std::span<const cdouble> x, std::size_t n_fft, CVec& out);
+
 /// True real-input FFT: the one-sided spectrum (n/2+1 bins, bin k ↦ k·fs/n)
 /// of a length-n real signal. For even n this runs an n/2-point complex FFT
 /// on even/odd-packed samples plus an O(n) untangle — roughly half the work
@@ -57,6 +63,13 @@ CVec rfft(std::span<const double> x);
 
 /// rfft of the signal zero-padded (or truncated) to @p n_fft points.
 CVec rfft_padded(std::span<const double> x, std::size_t n_fft);
+
+/// Allocation-free variants of rfft / rfft_padded: write the one-sided
+/// spectrum into @p out. Bit-identical to the allocating forms. (The odd-n
+/// fallback still allocates internally; the radar pipeline always transforms
+/// power-of-two n_fft, where the path is allocation-free in steady state.)
+void rfft_into(std::span<const double> x, CVec& out);
+void rfft_padded_into(std::span<const double> x, std::size_t n_fft, CVec& out);
 
 /// Inverse of rfft: reconstruct the length-n real signal from its one-sided
 /// spectrum (spectrum.size() must be n/2+1). The upper half is implied by

@@ -274,11 +274,17 @@ double interp_cubic_uniform(std::span<const double> y, double x0, double dx, dou
                 (-p0 + 3.0 * p1 - 3.0 * p2 + p3) * t * t * t);
 }
 
-std::vector<double> linspace(double start, double stop, std::size_t n) {
+void linspace_into(double start, double stop, std::size_t n,
+                   std::vector<double>& out) {
   BIS_CHECK(n >= 2);
-  std::vector<double> out(n);
+  out.resize(n);
   const double step = (stop - start) / static_cast<double>(n - 1);
   for (std::size_t i = 0; i < n; ++i) out[i] = start + step * static_cast<double>(i);
+}
+
+std::vector<double> linspace(double start, double stop, std::size_t n) {
+  std::vector<double> out;
+  linspace_into(start, stop, n, out);
   return out;
 }
 

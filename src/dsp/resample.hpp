@@ -88,4 +88,8 @@ double interp_cubic_uniform(std::span<const double> y, double x0, double dx, dou
 /// Evenly spaced grid [start, stop] with n points (n >= 2).
 std::vector<double> linspace(double start, double stop, std::size_t n);
 
+/// Allocation-free variant: writes the grid into @p out (resized to n).
+void linspace_into(double start, double stop, std::size_t n,
+                   std::vector<double>& out);
+
 }  // namespace bis::dsp

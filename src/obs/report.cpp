@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 
@@ -114,6 +115,20 @@ void RunReport::write_json(std::ostream& os) const {
 std::string RunReport::to_json() const {
   std::ostringstream oss;
   write_json(oss);
+  return oss.str();
+}
+
+std::string RunReport::outcome_key() const {
+  char snr[64];
+  std::snprintf(snr, sizeof snr, "%.17g|%.17g", detector_snr_sum_db,
+                last_detector_snr_db);
+  std::ostringstream oss;
+  oss << downlink_frames << '|' << uplink_frames << '|' << integrated_frames
+      << '|' << chirps_processed << '|' << sync_attempts << '|' << sync_locks
+      << '|' << crc_attempts << '|' << crc_passes << '|' << downlink_bits
+      << '|' << downlink_bit_errors << '|' << detection_attempts << '|'
+      << detections << '|' << uplink_bits << '|' << uplink_bit_errors << '|'
+      << snr;
   return oss.str();
 }
 

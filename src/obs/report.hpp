@@ -85,6 +85,14 @@ struct RunReport {
   /// One JSON object with every field above plus the derived rates.
   void write_json(std::ostream& os) const;
   std::string to_json() const;
+
+  /// Deterministic digest of the *outcome* fields only: frame/bit/detection
+  /// counters and the SNR accumulators (%.17g — bit-exact for doubles).
+  /// Excludes wall-clock stage times and process-wide cache deltas, which
+  /// legitimately vary run-to-run. Two runs that processed the same frames
+  /// in the same per-link order produce equal keys — the streaming engine's
+  /// determinism contract is asserted on this string.
+  std::string outcome_key() const;
 };
 
 /// RAII stopwatch adding its scope's wall time to a StageTimes field when

@@ -1,0 +1,97 @@
+#include "obs/server_stats.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+#include "obs/telemetry.hpp"
+
+namespace bis::obs {
+
+const char* server_stage_name(ServerStage stage) {
+  switch (stage) {
+    case ServerStage::kSynthesize: return "synthesize";
+    case ServerStage::kRangeFft: return "range_fft";
+    case ServerStage::kIfCorrect: return "if_correct";
+    case ServerStage::kDetect: return "detect";
+    case ServerStage::kDecode: return "decode";
+  }
+  return "?";
+}
+
+double StageQueueStats::mean_busy_us() const {
+  return frames == 0 ? 0.0
+                     : static_cast<double>(busy_ns) / 1e3 /
+                           static_cast<double>(frames);
+}
+
+double StageQueueStats::mean_queue_wait_us() const {
+  return frames == 0 ? 0.0
+                     : static_cast<double>(queue_wait_ns) / 1e3 /
+                           static_cast<double>(frames);
+}
+
+void ServerStatsCollector::record(ServerStage stage, std::uint64_t wait_ns,
+                                  std::uint64_t busy_ns) {
+  Cell& c = cells_[static_cast<std::size_t>(stage)];
+  c.frames.fetch_add(1, std::memory_order_relaxed);
+  if (wait_ns != 0) c.queue_wait_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+  if (busy_ns != 0) c.busy_ns.fetch_add(busy_ns, std::memory_order_relaxed);
+}
+
+void ServerStatsCollector::observe_depth(ServerStage stage, std::uint64_t depth) {
+  auto& peak = cells_[static_cast<std::size_t>(stage)].max_depth;
+  std::uint64_t cur = peak.load(std::memory_order_relaxed);
+  while (depth > cur &&
+         !peak.compare_exchange_weak(cur, depth, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t ServerStatsCollector::now_ns() {
+  if (!enabled()) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+StageQueueStats ServerStatsCollector::snapshot(ServerStage stage) const {
+  const Cell& c = cells_[static_cast<std::size_t>(stage)];
+  StageQueueStats out;
+  out.frames = c.frames.load(std::memory_order_relaxed);
+  out.busy_ns = c.busy_ns.load(std::memory_order_relaxed);
+  out.queue_wait_ns = c.queue_wait_ns.load(std::memory_order_relaxed);
+  out.max_depth = c.max_depth.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ServerStatsCollector::reset() {
+  for (Cell& c : cells_) {
+    c.frames.store(0, std::memory_order_relaxed);
+    c.busy_ns.store(0, std::memory_order_relaxed);
+    c.queue_wait_ns.store(0, std::memory_order_relaxed);
+    c.max_depth.store(0, std::memory_order_relaxed);
+  }
+}
+
+void ServerStatsCollector::write_json(std::ostream& os) const {
+  os << "{";
+  for (std::size_t i = 0; i < kServerStages; ++i) {
+    const auto stage = static_cast<ServerStage>(i);
+    const StageQueueStats s = snapshot(stage);
+    if (i != 0) os << ", ";
+    os << "\"" << server_stage_name(stage) << "\": {\"frames\": " << s.frames
+       << ", \"busy_ns\": " << s.busy_ns
+       << ", \"queue_wait_ns\": " << s.queue_wait_ns
+       << ", \"max_depth\": " << s.max_depth << "}";
+  }
+  os << "}";
+}
+
+std::string ServerStatsCollector::to_json() const {
+  std::ostringstream oss;
+  write_json(oss);
+  return oss.str();
+}
+
+}  // namespace bis::obs

@@ -1,0 +1,76 @@
+#pragma once
+
+/// @file server_stats.hpp
+/// Per-stage telemetry for the streaming LinkServer (core/link_server.hpp).
+/// Workers from many threads stamp each frame's queue wait and stage busy
+/// time into relaxed atomics; the collector snapshots them into a plain
+/// struct for reports and BENCH_server.json.
+///
+/// Cost model mirrors obs::StageTimer: frame counts and queue depths are
+/// always on (one relaxed RMW each); the nanosecond clock stamps only run
+/// while obs::enabled() — with telemetry off a stage record is two relaxed
+/// fetch_adds and no clock reads.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace bis::obs {
+
+/// The streaming pipeline's stages, in flow order. Kept in obs (not core) so
+/// report tooling needs no dependency on the engine.
+enum class ServerStage : std::size_t {
+  kSynthesize = 0,
+  kRangeFft,
+  kIfCorrect,
+  kDetect,
+  kDecode,
+};
+inline constexpr std::size_t kServerStages = 5;
+const char* server_stage_name(ServerStage stage);
+
+/// Snapshot of one stage's accumulated activity.
+struct StageQueueStats {
+  std::uint64_t frames = 0;         ///< Jobs this stage completed.
+  std::uint64_t busy_ns = 0;        ///< Total time spent executing the stage.
+  std::uint64_t queue_wait_ns = 0;  ///< Total time jobs sat queued before it.
+  std::uint64_t max_depth = 0;      ///< Peak observed queue depth.
+
+  double mean_busy_us() const;
+  double mean_queue_wait_us() const;
+};
+
+/// Lock-free accumulator shared by every worker of one LinkServer run.
+class ServerStatsCollector {
+ public:
+  /// Record one completed job: @p wait_ns queued + @p busy_ns executing.
+  /// Pass zeros when telemetry is disabled (the frame still counts).
+  void record(ServerStage stage, std::uint64_t wait_ns, std::uint64_t busy_ns);
+
+  /// Fold an observed depth of @p stage's input queue into the peak.
+  void observe_depth(ServerStage stage, std::uint64_t depth);
+
+  /// Monotonic nanosecond stamp, or 0 when telemetry is disabled — feed the
+  /// difference of two stamps straight to record().
+  static std::uint64_t now_ns();
+
+  StageQueueStats snapshot(ServerStage stage) const;
+  void reset();
+
+  /// One JSON object: {"synthesize": {...}, ..., "decode": {...}}.
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> frames{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> queue_wait_ns{0};
+    std::atomic<std::uint64_t> max_depth{0};
+  };
+  std::array<Cell, kServerStages> cells_;
+};
+
+}  // namespace bis::obs

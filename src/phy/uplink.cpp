@@ -39,12 +39,15 @@ double uplink_data_rate(const UplinkConfig& config) {
   return static_cast<double>(uplink_bits_per_symbol(config)) / symbol_time;
 }
 
-std::vector<int> uplink_symbol_states(const UplinkConfig& config, std::size_t symbol) {
-  std::vector<int> states(config.chirps_per_symbol, 1);
+void uplink_append_symbol_states(const UplinkConfig& config, std::size_t symbol,
+                                 std::vector<int>& out) {
   double freq = 0.0;
   if (config.scheme == UplinkScheme::kOok) {
     BIS_CHECK(symbol <= 1);
-    if (symbol == 0) return states;  // bit 0: static reflective
+    if (symbol == 0) {  // bit 0: static reflective
+      out.insert(out.end(), config.chirps_per_symbol, 1);
+      return;
+    }
     freq = config.mod_frequencies_hz.front();
   } else {
     BIS_CHECK(symbol < config.mod_frequencies_hz.size());
@@ -53,8 +56,14 @@ std::vector<int> uplink_symbol_states(const UplinkConfig& config, std::size_t sy
   for (std::size_t i = 0; i < config.chirps_per_symbol; ++i) {
     const double t = static_cast<double>(i) * config.chirp_period_s;
     const double phase = t * freq - std::floor(t * freq);  // position in cycle
-    states[i] = phase < config.duty_cycle ? 1 : 0;
+    out.push_back(phase < config.duty_cycle ? 1 : 0);
   }
+}
+
+std::vector<int> uplink_symbol_states(const UplinkConfig& config, std::size_t symbol) {
+  std::vector<int> states;
+  states.reserve(config.chirps_per_symbol);
+  uplink_append_symbol_states(config, symbol, states);
   return states;
 }
 

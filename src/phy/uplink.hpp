@@ -45,4 +45,10 @@ std::vector<int> uplink_modulate(const UplinkConfig& config, std::span<const int
 /// streaming modulator).
 std::vector<int> uplink_symbol_states(const UplinkConfig& config, std::size_t symbol);
 
+/// Append one symbol's per-chirp states to @p out — same states as
+/// uplink_symbol_states, but reusing the caller's buffer so the streaming
+/// modulator allocates nothing per symbol.
+void uplink_append_symbol_states(const UplinkConfig& config, std::size_t symbol,
+                                 std::vector<int>& out);
+
 }  // namespace bis::phy

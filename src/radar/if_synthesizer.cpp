@@ -27,13 +27,21 @@ std::size_t IfSynthesizer::samples_per_chirp(const rf::ChirpParams& chirp) const
 
 dsp::CVec IfSynthesizer::synthesize(const rf::ChirpParams& chirp,
                                     std::span<const IfReturn> returns) {
+  dsp::CVec out;
+  synthesize_into(chirp, returns, out);
+  return out;
+}
+
+void IfSynthesizer::synthesize_into(const rf::ChirpParams& chirp,
+                                    std::span<const IfReturn> returns,
+                                    dsp::CVec& out) {
   BIS_TRACE_SPAN("radar.if_synthesis");
   BIS_CHECK(chirp.valid());
   const std::size_t n = samples_per_chirp(chirp);
   static obs::Counter& samples =
       obs::Registry::instance().counter("bis.radar.if_samples_synthesized");
   samples.add(n);
-  dsp::CVec out(n, dsp::cdouble(0.0, 0.0));
+  out.assign(n, dsp::cdouble(0.0, 0.0));
   const double dt = 1.0 / config_.sample_rate_hz;
 
   // One common oscillator phase-noise realization per chirp: slow drift
@@ -82,7 +90,6 @@ dsp::CVec IfSynthesizer::synthesize(const rf::ChirpParams& chirp,
                        adc.quantize(v.imag() * gain) * inv_gain);
     }
   }
-  return out;
 }
 
 }  // namespace bis::radar

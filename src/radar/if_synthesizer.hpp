@@ -48,6 +48,11 @@ class IfSynthesizer {
   dsp::CVec synthesize(const rf::ChirpParams& chirp,
                        std::span<const IfReturn> returns);
 
+  /// Buffer-reusing variant for the streaming engine: identical samples (and
+  /// identical RNG consumption), written into @p out.
+  void synthesize_into(const rf::ChirpParams& chirp,
+                       std::span<const IfReturn> returns, dsp::CVec& out);
+
   /// Per-component noise sigma implied by the configured noise power.
   double noise_sigma() const { return noise_sigma_; }
 

@@ -38,9 +38,15 @@ RangeAligner::RangeAligner(const RangeAlignConfig& config) : config_(config) {}
 
 AlignedProfiles RangeAligner::align(std::span<const RangeProfile> profiles,
                                     ThreadPool* pool) const {
+  AlignedProfiles out;
+  align_into(profiles, pool, out);
+  return out;
+}
+
+void RangeAligner::align_into(std::span<const RangeProfile> profiles,
+                              ThreadPool* pool, AlignedProfiles& out) const {
   BIS_TRACE_SPAN("radar.if_correction");
   BIS_CHECK(!profiles.empty());
-  AlignedProfiles out;
   out.chirp_period_s = profiles.front().chirp.period();
 
   if (!config_.enabled) {
@@ -51,14 +57,16 @@ AlignedProfiles RangeAligner::align(std::span<const RangeProfile> profiles,
     out.rows.resize(profiles.size());
     bis::parallel_for(pool, 0, profiles.size(), [&](std::size_t i) {
       const auto& p = profiles[i];
-      dsp::CVec row(n, dsp::cdouble(0.0, 0.0));
+      auto& row = out.rows[i];
+      row.assign(n, dsp::cdouble(0.0, 0.0));
       const std::size_t m = std::min(n, p.bins.size());
       std::copy(p.bins.begin(), p.bins.begin() + static_cast<long>(m), row.begin());
-      out.rows[i] = std::move(row);
     });
-    out.range_grid = profiles.front().range_axis();
+    const auto& first = profiles.front();
     out.range_grid.resize(n);
-    return out;
+    for (std::size_t i = 0; i < n && i < first.bins.size(); ++i)
+      out.range_grid[i] = first.bin_range_m(i);
+    return;
   }
 
   // Common coverage: every chirp can see at least min(R_max); the grid stops
@@ -75,11 +83,15 @@ AlignedProfiles RangeAligner::align(std::span<const RangeProfile> profiles,
   const std::size_t n_grid = config_.grid_bins > 0 ? config_.grid_bins : max_fft;
   BIS_CHECK(n_grid >= 2);
 
-  out.range_grid = dsp::linspace(0.0, r_max, n_grid);
+  dsp::linspace_into(0.0, r_max, n_grid, out.range_grid);
   out.rows.resize(profiles.size());
   bis::parallel_for(pool, 0, profiles.size(), [&](std::size_t i) {
     const auto& p = profiles[i];
-    const auto axis = p.range_axis();
+    // The per-chirp range axis takes only |slope alphabet| distinct values;
+    // fill it into per-thread scratch instead of allocating per chirp.
+    thread_local std::vector<double> axis;
+    axis.resize(p.bins.size());
+    for (std::size_t k = 0; k < axis.size(); ++k) axis[k] = p.bin_range_m(k);
     // CSSK reuses a handful of slopes, so the (axis, grid) pair repeats
     // across chirps and frames: replay the memoized stencil instead of
     // re-running the per-bin interval search (bit-identical output).
@@ -87,7 +99,6 @@ AlignedProfiles RangeAligner::align(std::span<const RangeProfile> profiles,
     out.rows[i].resize(out.range_grid.size());
     plan->apply(p.bins, out.rows[i]);
   });
-  return out;
 }
 
 void subtract_background(AlignedProfiles& profiles, std::size_t background_row) {

@@ -60,6 +60,11 @@ class RangeAligner {
   AlignedProfiles align(std::span<const RangeProfile> profiles,
                         ThreadPool* pool = nullptr) const;
 
+  /// Buffer-reusing variant: bit-identical result written into @p out (rows
+  /// and grid resized; steady state reuses their capacity across frames).
+  void align_into(std::span<const RangeProfile> profiles, ThreadPool* pool,
+                  AlignedProfiles& out) const;
+
   const RangeAlignConfig& config() const { return config_; }
 
  private:

@@ -35,43 +35,60 @@ RangeProcessor::RangeProcessor(const RangeProcessorConfig& config) : config_(con
 RangeProfile RangeProcessor::process(std::span<const dsp::cdouble> if_samples,
                                      const rf::ChirpParams& chirp,
                                      double sample_rate_hz) const {
+  RangeProfile profile;
+  process_into(if_samples, chirp, sample_rate_hz, profile);
+  return profile;
+}
+
+void RangeProcessor::process_into(std::span<const dsp::cdouble> if_samples,
+                                  const rf::ChirpParams& chirp,
+                                  double sample_rate_hz,
+                                  RangeProfile& out) const {
   BIS_TRACE_SPAN("radar.range_fft");
   BIS_CHECK(!if_samples.empty());
   BIS_CHECK(sample_rate_hz > 0.0);
   // CSSK frames reuse a handful of chirp lengths, so the window and the FFT
   // plan for this size are cache hits on every chirp after the first.
   const auto w = dsp::cached_window(config_.window, if_samples.size());
-  const auto xw = dsp::apply_window(if_samples, *w);
+  thread_local dsp::CVec xw;
+  xw.resize(if_samples.size());
+  dsp::kernels::kapply_window(if_samples, *w, xw);
   const std::size_t n_fft =
       dsp::next_power_of_two(if_samples.size()) * config_.zero_pad_factor;
-  RangeProfile profile;
-  profile.bins = dsp::fft_padded(xw, n_fft);
+  dsp::fft_padded_into(xw, n_fft, out.bins);
   // Normalize by the window sum so tone amplitude is comparable across
   // chirps with different sample counts (different CSSK durations). Scaled
   // by the reciprocal through the kernel layer (one divide per chirp instead
   // of one per bin).
   const double norm = dsp::window_sum(*w);
-  dsp::kernels::kscale(std::span<dsp::cdouble>(profile.bins), 1.0 / norm);
-  profile.chirp = chirp;
-  profile.sample_rate_hz = sample_rate_hz;
-  profile.n_fft = n_fft;
-  return profile;
+  dsp::kernels::kscale(std::span<dsp::cdouble>(out.bins), 1.0 / norm);
+  out.chirp = chirp;
+  out.sample_rate_hz = sample_rate_hz;
+  out.n_fft = n_fft;
 }
 
 std::vector<RangeProfile> RangeProcessor::process_frame(
     std::span<const dsp::CVec> chirp_samples,
     std::span<const rf::ChirpParams> chirps, double sample_rate_hz,
     ThreadPool* pool) const {
+  std::vector<RangeProfile> profiles;
+  process_frame_into(chirp_samples, chirps, sample_rate_hz, pool, profiles);
+  return profiles;
+}
+
+void RangeProcessor::process_frame_into(
+    std::span<const dsp::CVec> chirp_samples,
+    std::span<const rf::ChirpParams> chirps, double sample_rate_hz,
+    ThreadPool* pool, std::vector<RangeProfile>& out) const {
   BIS_TRACE_SPAN("radar.range_fft_frame");
   BIS_CHECK(chirp_samples.size() == chirps.size());
   static obs::Counter& chirps_processed =
       obs::Registry::instance().counter("bis.radar.chirps_processed");
   chirps_processed.add(chirp_samples.size());
-  std::vector<RangeProfile> profiles(chirp_samples.size());
+  out.resize(chirp_samples.size());
   bis::parallel_for(pool, 0, chirp_samples.size(), [&](std::size_t i) {
-    profiles[i] = process(chirp_samples[i], chirps[i], sample_rate_hz);
+    process_into(chirp_samples[i], chirps[i], sample_rate_hz, out[i]);
   });
-  return profiles;
 }
 
 }  // namespace bis::radar

@@ -48,6 +48,13 @@ class RangeProcessor {
   RangeProfile process(std::span<const dsp::cdouble> if_samples,
                        const rf::ChirpParams& chirp, double sample_rate_hz) const;
 
+  /// Buffer-reusing variant: bit-identical profile written into @p out
+  /// (bins resized; steady state reuses capacity — nothing allocates once
+  /// windows, FFT plans, and per-thread scratch are warm).
+  void process_into(std::span<const dsp::cdouble> if_samples,
+                    const rf::ChirpParams& chirp, double sample_rate_hz,
+                    RangeProfile& out) const;
+
   /// Batched frame processing: range-FFT every chirp of a frame, fanning the
   /// per-chirp transforms across @p pool (nullptr = inline). Each chirp is an
   /// independent pure map into its own output slot, so the result is
@@ -56,6 +63,13 @@ class RangeProcessor {
       std::span<const dsp::CVec> chirp_samples,
       std::span<const rf::ChirpParams> chirps, double sample_rate_hz,
       ThreadPool* pool = nullptr) const;
+
+  /// Buffer-reusing frame variant: profiles written into @p out (resized to
+  /// the chirp count; per-profile bins reuse their capacity across frames).
+  void process_frame_into(std::span<const dsp::CVec> chirp_samples,
+                          std::span<const rf::ChirpParams> chirps,
+                          double sample_rate_hz, ThreadPool* pool,
+                          std::vector<RangeProfile>& out) const;
 
   const RangeProcessorConfig& config() const { return config_; }
 

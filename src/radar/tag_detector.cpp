@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <span>
+#include <tuple>
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
@@ -24,9 +26,35 @@ TagDetector::TagDetector(const TagDetectorConfig& config) : config_(config) {
   for (double f : config_.candidate_mod_freqs_hz) BIS_CHECK(f > 0.0);
 }
 
-dsp::RVec TagDetector::slow_time_spectrum(const AlignedProfiles& profiles,
-                                          std::size_t bin, std::size_t first,
-                                          std::size_t count) const {
+namespace {
+
+/// Per-thread memo for square-wave signatures. A detector evaluates the same
+/// handful of (frequency, block length) pairs on every block of every frame,
+/// so after warmup the lookup is a map hit with a stable address — the
+/// streaming engine's per-frame loop stays allocation-free. Keyed on every
+/// input of square_wave_signature; entry count is bounded by the distinct
+/// (config, block size) pairs a thread ever sees (a handful per link set).
+const dsp::RVec& cached_signature(double f, double duty, std::size_t count,
+                                  double period, std::size_t n_fft,
+                                  std::size_t harmonics) {
+  using Key =
+      std::tuple<double, double, double, std::size_t, std::size_t, std::size_t>;
+  thread_local std::map<Key, dsp::RVec> cache;
+  const Key key{f, duty, period, count, n_fft, harmonics};
+  auto it = cache.find(key);
+  if (it == cache.end())
+    it = cache
+             .emplace(key, dsp::square_wave_signature(f, duty, count, period,
+                                                      n_fft, harmonics))
+             .first;
+  return it->second;
+}
+
+}  // namespace
+
+std::span<const double> TagDetector::spectrum_into(
+    const AlignedProfiles& profiles, std::size_t bin, std::size_t first,
+    std::size_t count) const {
   const std::size_t n_chirps = profiles.n_chirps();
   BIS_CHECK(first < n_chirps);
   if (count == 0) count = n_chirps - first;
@@ -53,46 +81,38 @@ dsp::RVec TagDetector::slow_time_spectrum(const AlignedProfiles& profiles,
       dsp::next_power_of_two(count) * config_.slow_time_pad_factor;
   // Real-input fast path: the one-sided rfft is all this ever read from the
   // full complex transform.
-  const auto spec = dsp::rfft_padded(xw, n_fft);
-  dsp::RVec power(spec.size());
+  thread_local dsp::CVec spec;
+  dsp::rfft_padded_into(xw, n_fft, spec);
+  thread_local dsp::RVec power;
+  power.resize(spec.size());
   dsp::kernels::knorm(spec, power);
   return power;
 }
 
-TagDetector::BinScores TagDetector::score_block(const AlignedProfiles& profiles,
-                                                std::size_t first,
-                                                std::size_t count,
-                                                ThreadPool* pool) const {
+dsp::RVec TagDetector::slow_time_spectrum(const AlignedProfiles& profiles,
+                                          std::size_t bin, std::size_t first,
+                                          std::size_t count) const {
+  const auto s = spectrum_into(profiles, bin, first, count);
+  return dsp::RVec(s.begin(), s.end());
+}
+
+void TagDetector::score_block(const AlignedProfiles& profiles,
+                              std::size_t first, std::size_t count,
+                              ThreadPool* pool, BinScores& out) const {
   BIS_TRACE_SPAN("radar.score_block");
   const double slow_fs = 1.0 / profiles.chirp_period_s;
   const std::size_t n_fft =
       dsp::next_power_of_two(count) * config_.slow_time_pad_factor;
   const double bin_hz = slow_fs / static_cast<double>(n_fft);
 
-  std::vector<double> candidates = config_.candidate_mod_freqs_hz;
-  if (candidates.empty()) candidates.push_back(config_.expected_mod_freq_hz);
-
-  struct Candidate {
-    dsp::RVec signature;
-    std::size_t mod_bin = 0;
-  };
-  std::vector<Candidate> cand;
-  cand.reserve(candidates.size());
-  for (double f : candidates) {
-    Candidate c;
-    c.signature =
-        dsp::square_wave_signature(f, config_.duty_cycle, count,
-                                   profiles.chirp_period_s, n_fft,
-                                   config_.n_harmonics);
-    c.mod_bin = static_cast<std::size_t>(std::llround(f / bin_hz));
-    cand.push_back(std::move(c));
-  }
+  std::span<const double> candidates(config_.candidate_mod_freqs_hz);
+  if (candidates.empty())
+    candidates = std::span<const double>(&config_.expected_mod_freq_hz, 1);
 
   // Per-range-bin scores: the slow-time tone power at each candidate
   // frequency, gated by the square-wave signature correlation and by tone
   // *prominence* over the bin's own spectral floor (broadband clutter
   // residue under CSSK slope variation is flat, a tag tone is not).
-  BinScores out;
   out.metric.assign(profiles.n_bins(), 0.0);
   out.tone_power.assign(profiles.n_bins(), 0.0);
   out.score.assign(profiles.n_bins(), 0.0);
@@ -100,19 +120,23 @@ TagDetector::BinScores TagDetector::score_block(const AlignedProfiles& profiles,
   // own slots — a pure map, bit-identical for any thread count.
   bis::parallel_for(pool, 0, profiles.n_bins(), [&](std::size_t b) {
     if (profiles.range_grid[b] < config_.min_range_m) return;
-    const auto spectrum = slow_time_spectrum(profiles, b, first, count);
+    const auto spectrum = spectrum_into(profiles, b, first, count);
     const double floor = std::max(
         bis::median(std::span<const double>(spectrum.data() + 1,
                                             spectrum.size() - 1)),
         1e-30);
-    for (const auto& c : cand) {
+    for (double f : candidates) {
+      const auto& signature =
+          cached_signature(f, config_.duty_cycle, count,
+                           profiles.chirp_period_s, n_fft, config_.n_harmonics);
+      const auto mod_bin = static_cast<std::size_t>(std::llround(f / bin_hz));
       double p = 0.0;
-      for (long long k = static_cast<long long>(c.mod_bin) - 1;
-           k <= static_cast<long long>(c.mod_bin) + 1; ++k) {
+      for (long long k = static_cast<long long>(mod_bin) - 1;
+           k <= static_cast<long long>(mod_bin) + 1; ++k) {
         if (k >= 0 && k < static_cast<long long>(spectrum.size()))
           p = std::max(p, spectrum[static_cast<std::size_t>(k)]);
       }
-      const double s = dsp::signature_score(spectrum, c.signature);
+      const double s = dsp::signature_score(spectrum, signature);
       out.tone_power[b] = std::max(out.tone_power[b], p);
       out.score[b] = std::max(out.score[b], s);
       if (s < config_.min_signature_score) continue;
@@ -120,7 +144,6 @@ TagDetector::BinScores TagDetector::score_block(const AlignedProfiles& profiles,
       out.metric[b] = std::max(out.metric[b], p * s);
     }
   });
-  return out;
 }
 
 TagDetection TagDetector::detect(const AlignedProfiles& profiles,
@@ -136,11 +159,18 @@ TagDetection TagDetector::detect(const AlignedProfiles& profiles,
   if (block == 0 || block > profiles.n_chirps()) block = profiles.n_chirps();
   const std::size_t n_blocks = profiles.n_chirps() / block;
 
-  dsp::RVec metric(profiles.n_bins(), 0.0);
-  dsp::RVec tone_power(profiles.n_bins(), 0.0);
-  dsp::RVec score(profiles.n_bins(), 0.0);
+  // Accumulators and the per-block scores live in per-thread scratch: the
+  // streaming engine calls detect() thousands of times per second, and every
+  // call fully overwrites them (assign / clear below).
+  thread_local dsp::RVec metric;
+  thread_local dsp::RVec tone_power;
+  thread_local dsp::RVec score;
+  thread_local BinScores s;
+  metric.assign(profiles.n_bins(), 0.0);
+  tone_power.assign(profiles.n_bins(), 0.0);
+  score.assign(profiles.n_bins(), 0.0);
   for (std::size_t blk = 0; blk < n_blocks; ++blk) {
-    const auto s = score_block(profiles, blk * block, block, pool);
+    score_block(profiles, blk * block, block, pool, s);
     const double peak = *std::max_element(s.metric.begin(), s.metric.end());
     const double norm = peak > 0.0 ? 1.0 / peak : 0.0;
     dsp::kernels::kaxpy(norm, s.metric, metric);
@@ -157,7 +187,8 @@ TagDetection TagDetector::detect(const AlignedProfiles& profiles,
   // (same slow-time frequencies, no tag). Using off-tone bins of the tag's
   // own spectrum would measure the square wave's spectral leakage instead
   // of the noise, saturating the SNR estimate.
-  std::vector<double> noise_bins;
+  thread_local std::vector<double> noise_bins;
+  noise_bins.clear();
   noise_bins.reserve(profiles.n_bins());
   const std::size_t exclusion = 4;
   for (std::size_t b = 0; b < profiles.n_bins(); ++b) {

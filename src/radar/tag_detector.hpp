@@ -9,6 +9,7 @@
 /// every bin with a matched filter against that signature (Millimetro-style)
 /// and localize by refining the peak of the per-bin modulation power.
 
+#include <span>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -80,9 +81,16 @@ class TagDetector {
     dsp::RVec tone_power;
     dsp::RVec score;
   };
-  /// Per-bin scores over one slow-time block.
-  BinScores score_block(const AlignedProfiles& profiles, std::size_t first,
-                        std::size_t count, ThreadPool* pool) const;
+  /// Per-bin scores over one slow-time block, written into @p out (buffers
+  /// reused across blocks/frames — detect() is allocation-free once warm).
+  void score_block(const AlignedProfiles& profiles, std::size_t first,
+                   std::size_t count, ThreadPool* pool, BinScores& out) const;
+
+  /// slow_time_spectrum into per-thread scratch; the returned span is valid
+  /// until the next call on the same thread.
+  std::span<const double> spectrum_into(const AlignedProfiles& profiles,
+                                        std::size_t bin, std::size_t first,
+                                        std::size_t count) const;
 
   TagDetectorConfig config_;
 };

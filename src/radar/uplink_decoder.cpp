@@ -18,26 +18,54 @@ UplinkDecoder::UplinkDecoder(phy::UplinkConfig config) : config_(std::move(confi
 
 UplinkDecodeResult UplinkDecoder::decode(const AlignedProfiles& profiles,
                                          std::size_t tag_bin) const {
-  BIS_CHECK(tag_bin < profiles.n_bins());
-  return decode_series(profiles.column_magnitude(tag_bin));
+  UplinkDecodeResult out;
+  decode_into(profiles, tag_bin, out);
+  return out;
 }
 
 UplinkDecodeResult UplinkDecoder::decode_series(const dsp::RVec& series) const {
+  UplinkDecodeResult out;
+  decode_series_into(series, out);
+  return out;
+}
+
+void UplinkDecoder::decode_into(const AlignedProfiles& profiles,
+                                std::size_t tag_bin,
+                                UplinkDecodeResult& out) const {
+  BIS_CHECK(tag_bin < profiles.n_bins());
+  thread_local dsp::RVec col;
+  col.resize(profiles.n_chirps());
+  profiles.column_magnitude(tag_bin, col);
+  decode_series_into(col, out);
+}
+
+void UplinkDecoder::decode_series_into(std::span<const double> series,
+                                       UplinkDecodeResult& out) const {
   BIS_TRACE_SPAN("radar.uplink_decode");
   const std::size_t block = config_.chirps_per_symbol;
   BIS_CHECK_MSG(series.size() >= block, "series shorter than one uplink symbol");
   const double slow_fs = 1.0 / config_.chirp_period_s;
 
-  UplinkDecodeResult out;
+  out.symbols.clear();
+  out.bits.clear();
+  out.symbol_confidence.clear();
   const std::size_t n_symbols = series.size() / block;
   const std::size_t bps = phy::uplink_bits_per_symbol(config_);
 
   for (std::size_t s = 0; s < n_symbols; ++s) {
     const std::span<const double> raw(series.data() + s * block, block);
-    const auto centred = dsp::remove_dc(raw);
+    // Per-thread buffer replicating remove_dc arithmetic exactly (copy, mean
+    // over the copy, subtract) without the per-symbol allocation.
+    thread_local dsp::RVec centred;
+    centred.assign(raw.begin(), raw.end());
+    double mean = 0.0;
+    for (double x : centred) mean += x;
+    mean /= static_cast<double>(centred.size());
+    for (double& x : centred) x -= mean;
 
     if (config_.scheme == phy::UplinkScheme::kFsk) {
-      std::vector<double> powers(config_.mod_frequencies_hz.size());
+      thread_local std::vector<double> powers;
+      powers.resize(config_.mod_frequencies_hz.size());
       for (std::size_t f = 0; f < powers.size(); ++f)
         powers[f] =
             dsp::goertzel_power(centred, config_.mod_frequencies_hz[f], slow_fs);
@@ -55,7 +83,8 @@ UplinkDecodeResult UplinkDecoder::decode_series(const dsp::RVec& series) const {
       const double f_on = config_.mod_frequencies_hz.front();
       const double on_power = dsp::goertzel_power(centred, f_on, slow_fs);
       // Probe a few frequencies away from the tone (and its 2nd harmonic).
-      std::vector<double> probes;
+      thread_local std::vector<double> probes;
+      probes.clear();
       for (double factor : {0.37, 0.61, 1.43, 1.71}) {
         const double f = f_on * factor;
         if (f < slow_fs / 2.0)
@@ -67,11 +96,17 @@ UplinkDecodeResult UplinkDecoder::decode_series(const dsp::RVec& series) const {
       out.symbol_confidence.push_back(on_power / std::max(noise, 1e-30));
     }
   }
-  out.bits = phy::symbols_to_bits(out.symbols, bps);
+  // Inline symbols_to_bits (same MSB-first expansion and range check),
+  // appending into the retained bits buffer.
+  out.bits.reserve(out.symbols.size() * bps);
+  for (auto sym : out.symbols) {
+    BIS_CHECK(sym < (static_cast<std::size_t>(1) << bps));
+    for (std::size_t b = bps; b-- > 0;)
+      out.bits.push_back(static_cast<int>((sym >> b) & 1));
+  }
   static obs::Counter& symbols =
       obs::Registry::instance().counter("bis.radar.uplink_symbols_decoded");
   symbols.add(out.symbols.size());
-  return out;
 }
 
 }  // namespace bis::radar

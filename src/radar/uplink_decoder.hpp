@@ -9,6 +9,7 @@
 ///   - OOK: bit = 1 when the assigned tone rises @p threshold above the
 ///     off-tone noise estimate.
 
+#include <span>
 #include <vector>
 
 #include "phy/bits.hpp"
@@ -33,6 +34,14 @@ class UplinkDecoder {
 
   /// Decode from a raw slow-time magnitude series (utility for tests).
   UplinkDecodeResult decode_series(const dsp::RVec& series) const;
+
+  /// Buffer-reusing variants for the streaming engine: identical output,
+  /// written into @p out (its vectors are cleared, capacity retained, so the
+  /// per-frame loop is allocation-free once warm).
+  void decode_into(const AlignedProfiles& profiles, std::size_t tag_bin,
+                   UplinkDecodeResult& out) const;
+  void decode_series_into(std::span<const double> series,
+                          UplinkDecodeResult& out) const;
 
   const phy::UplinkConfig& config() const { return config_; }
 

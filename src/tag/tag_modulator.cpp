@@ -17,6 +17,12 @@ void TagModulator::queue_bits(const phy::Bits& bits) {
 
 std::vector<int> TagModulator::next_states(std::size_t n_chirps) {
   std::vector<int> out;
+  next_states(n_chirps, out);
+  return out;
+}
+
+void TagModulator::next_states(std::size_t n_chirps, std::vector<int>& out) {
+  out.clear();
   out.reserve(n_chirps);
 
   while (out.size() < n_chirps) {
@@ -31,10 +37,16 @@ std::vector<int> TagModulator::next_states(std::size_t n_chirps) {
     }
     const std::size_t bps = phy::uplink_bits_per_symbol(config_);
     if (queue_.size() >= bps) {
-      // Modulate the next whole symbol.
-      phy::Bits symbol_bits(queue_.begin(), queue_.begin() + static_cast<long>(bps));
+      // Modulate the next whole symbol: pack it MSB-first (exactly what
+      // bits_to_symbols does for a whole symbol) and append its states into
+      // the retained buffer — no temporaries on the streaming path. The
+      // config was validated in the constructor, the bits in queue_bits.
+      std::size_t sym = 0;
+      for (std::size_t b = 0; b < bps; ++b)
+        sym = (sym << 1) | static_cast<std::size_t>(queue_[b]);
       queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(bps));
-      pending_states_ = phy::uplink_modulate(config_, symbol_bits);
+      pending_states_.clear();
+      phy::uplink_append_symbol_states(config_, sym, pending_states_);
     } else {
       // Beacon: keep toggling at the assigned frequency so the radar can
       // localize the tag between messages.
@@ -45,7 +57,6 @@ std::vector<int> TagModulator::next_states(std::size_t n_chirps) {
       out.push_back(phase < config_.duty_cycle ? 1 : 0);
     }
   }
-  return out;
 }
 
 }  // namespace bis::tag

@@ -26,6 +26,11 @@ class TagModulator {
   /// localizing it (localization beacon behaviour, paper §3.3).
   std::vector<int> next_states(std::size_t n_chirps);
 
+  /// Buffer-reusing variant for the streaming engine: identical states,
+  /// written into @p out (cleared first) with no per-call allocation once
+  /// capacities are warm.
+  void next_states(std::size_t n_chirps, std::vector<int>& out);
+
   /// Bits still queued.
   std::size_t pending_bits() const { return queue_.size(); }
 

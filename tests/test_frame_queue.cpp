@@ -1,0 +1,156 @@
+// Lock-free frame queues (src/common/frame_queue.hpp): FIFO semantics,
+// bounded capacity, and cross-thread transfer integrity for the MPMC ring
+// that backs the LinkServer pipeline stages and the SPSC ring.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/frame_queue.hpp"
+
+namespace bis {
+namespace {
+
+TEST(FrameQueue, MpmcSingleThreadFifo) {
+  MpmcFrameQueue<std::uint64_t> q(8);
+  EXPECT_EQ(q.capacity(), 8u);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(q.try_pop(v));  // starts empty
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);  // strict FIFO
+  }
+  EXPECT_FALSE(q.try_pop(v));  // drained
+}
+
+TEST(FrameQueue, MpmcCapacityRoundsUpToPowerOfTwo) {
+  MpmcFrameQueue<int> q(9);
+  EXPECT_EQ(q.capacity(), 16u);
+  MpmcFrameQueue<int> q1(1);
+  EXPECT_EQ(q1.capacity(), 2u);  // floor of 2
+}
+
+TEST(FrameQueue, MpmcWrapAroundReusesCells) {
+  MpmcFrameQueue<int> q(4);
+  int v = 0;
+  // Push/pop far more items than capacity so every cell cycles many times.
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(q.try_push(round * 3 + i));
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(q.try_pop(v));
+      ASSERT_EQ(v, round * 3 + i);
+    }
+  }
+}
+
+TEST(FrameQueue, MpmcConcurrentProducersConsumersTransferEveryItemOnce) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 20000;
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  MpmcFrameQueue<std::uint64_t> q(256);
+  std::vector<std::atomic<int>> seen(kTotal);
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t item =
+            static_cast<std::uint64_t>(p) * kPerProducer + i;
+        while (!q.try_push(item)) std::this_thread::yield();
+      }
+    });
+  for (int c = 0; c < kConsumers; ++c)
+    threads.emplace_back([&] {
+      std::uint64_t v = 0;
+      while (consumed.load(std::memory_order_relaxed) < kTotal) {
+        if (q.try_pop(v)) {
+          seen[v].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kTotal; ++i)
+    ASSERT_EQ(seen[i].load(), 1) << "item " << i;
+}
+
+TEST(FrameQueue, MpmcPerProducerOrderPreserved) {
+  // MPMC gives no global order, but items from one producer must pop in the
+  // order that producer pushed them. Tag items with the producer id in the
+  // high bits and check each producer's sequence is monotone.
+  constexpr int kProducers = 2;
+  constexpr int kPerProducer = 10000;
+  MpmcFrameQueue<std::uint64_t> q(64);
+  std::vector<std::uint64_t> popped;
+  popped.reserve(kProducers * kPerProducer);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t item =
+            (static_cast<std::uint64_t>(p) << 32) | static_cast<std::uint32_t>(i);
+        while (!q.try_push(item)) std::this_thread::yield();
+      }
+    });
+  std::uint64_t v = 0;
+  while (popped.size() < static_cast<std::size_t>(kProducers) * kPerProducer) {
+    if (q.try_pop(v)) popped.push_back(v);
+  }
+  for (auto& t : producers) t.join();
+
+  std::vector<std::int64_t> last(kProducers, -1);
+  for (const std::uint64_t item : popped) {
+    const auto p = static_cast<int>(item >> 32);
+    const auto i = static_cast<std::int64_t>(item & 0xffffffffu);
+    ASSERT_GT(i, last[p]) << "producer " << p;
+    last[p] = i;
+  }
+}
+
+TEST(FrameQueue, SpscSingleThreadFifo) {
+  SpscFrameQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  int v = 0;
+  EXPECT_FALSE(q.try_pop(v));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(9));  // full
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(FrameQueue, SpscCrossThreadTransferIsOrderedAndComplete) {
+  constexpr int kItems = 100000;
+  SpscFrameQueue<std::uint64_t> q(128);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i)
+      while (!q.try_push(static_cast<std::uint64_t>(i))) std::this_thread::yield();
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t v = 0;
+  while (expected < kItems) {
+    if (q.try_pop(v)) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+}  // namespace
+}  // namespace bis

@@ -79,6 +79,41 @@ TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
   EXPECT_EQ(count.load(), 64);
 }
 
+TEST(ThreadPool, EnqueueAfterShutdownRunsInlineDeterministically) {
+  ThreadPool pool(4);
+  pool.shutdown();
+  // With the queue closed the loop must run inline on the caller — strictly
+  // ordered, never hung waiting on joined workers.
+  std::vector<int> order;
+  pool.parallel_for(2, 7, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 4, 5, 6}));
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(3);
+  pool.shutdown();
+  pool.shutdown();  // second call must be a no-op, not a double-join
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 50, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAfterShutdown) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // Still usable for further inline loops after the throw.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
 // --- Frame pipeline determinism ---------------------------------------------
 
 /// Synthetic CSSK-style frame: a few distinct chirp durations (so both FFT
