@@ -12,12 +12,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/constants.hpp"
 #include "common/random.hpp"
 #include "common/thread_pool.hpp"
@@ -522,10 +524,23 @@ bool write_bench_json(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --force before benchmark::Initialize — it rejects unknown flags.
+  bool force = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--force") == 0) {
+      force = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  argv[argc] = nullptr;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!bench::guard_bench_host("bench_dsp_kernels", force)) return 2;
   // Exit nonzero on any parity failure so CI can assert correctness of the
   // fast paths without depending on (flaky) timing thresholds.
   const bool ok = write_bench_json("BENCH_dsp.json");

@@ -23,13 +23,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <new>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
+#include "common/json.hpp"
 #include "core/link_server.hpp"
 #include "dsp/resample.hpp"
+#include "obs/sink.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 // ---------------------------------------------------------------------------
 // Allocation-counting hook. Every operator new in the process funnels through
@@ -71,6 +77,12 @@ namespace {
 using namespace bis;
 using Clock = std::chrono::steady_clock;
 
+/// Smoke mode streams live telemetry to these files (validated after the
+/// gates) — the acceptance check that export works under real pipeline load.
+constexpr const char* kSmokeJsonl = "bench_server_metrics.jsonl";
+constexpr const char* kSmokeProm = "bench_server_metrics.prom";
+bool g_smoke_export = false;
+
 /// Light OOK link: 2 bits/frame → 32 chirps/frame. Small enough to hold
 /// 2×1024 frames in flight, heavy enough that every stage does real DSP.
 core::LinkServerConfig server_config(std::size_t links, std::size_t workers) {
@@ -83,6 +95,11 @@ core::LinkServerConfig server_config(std::size_t links, std::size_t workers) {
   cfg.n_links = links;
   cfg.workers = workers;
   cfg.bits_per_frame = 2;
+  if (g_smoke_export) {
+    cfg.base.telemetry_export.jsonl_path = kSmokeJsonl;
+    cfg.base.telemetry_export.prom_path = kSmokeProm;
+    cfg.base.telemetry_export.interval_ms = 100;
+  }
   return cfg;
 }
 
@@ -121,7 +138,12 @@ bool check_zero_alloc(std::uint64_t& steady_allocs) {
   cfg.collect_bits = false;  // the bit log is the one intentionally growing
                              // artifact; everything else must be in place
   core::LinkServer server(cfg);
-  server.run(2);  // warm every job buffer, plan cache, thread_local scratch
+  // Warm with as many rounds as are measured: when telemetry is enabled,
+  // trace spans append to per-thread vectors whose capacity the warmup sizes
+  // (round event counts are deterministic); clear_trace() keeps capacity, so
+  // the measured rounds re-fill without a single growth allocation.
+  server.run(3);
+  obs::clear_trace();
   g_alloc_count.store(0, std::memory_order_relaxed);
   g_count_allocs.store(true, std::memory_order_relaxed);
   server.run(3);
@@ -220,6 +242,52 @@ Row measure_row(std::size_t links, std::size_t workers,
   return row;
 }
 
+/// Telemetry cost + latency-quantile section: one fixed row measured with
+/// the obs switch off, then on. The on-run's per-stage busy/wait and
+/// end-to-end distributions go into the report; the off/on ratio documents
+/// that the one-relaxed-load-when-off contract holds at pipeline scale.
+std::string measure_telemetry_section(const phy::SlopeAlphabet& alphabet) {
+  constexpr std::size_t kLinks = 64, kWorkers = 1, kFrames = 4;
+  const bool was_enabled = obs::enabled();
+  auto run_once = [&](core::LinkServer& server) {
+    server.run(1);  // warmup
+    const auto t0 = Clock::now();
+    server.run(kFrames);
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  auto cfg = server_config(kLinks, kWorkers);
+  cfg.collect_bits = false;
+
+  obs::set_enabled(false);
+  double seconds_off = 0.0;
+  {
+    core::LinkServer server(cfg, alphabet);
+    seconds_off = run_once(server);
+  }
+  obs::set_enabled(true);
+  double seconds_on = 0.0;
+  std::string stats_json;
+  {
+    core::LinkServer server(cfg, alphabet);
+    seconds_on = run_once(server);
+    stats_json = server.stats().to_json();
+  }
+  obs::set_enabled(was_enabled);
+
+  const double overhead = seconds_on / seconds_off - 1.0;
+  std::printf("telemetry overhead (%zu links, %zu worker): off %.3f s, "
+              "on %.3f s (%+.1f%%)\n",
+              kLinks, kWorkers, seconds_off, seconds_on, overhead * 100.0);
+  std::string out = "{\"links\": " + std::to_string(kLinks) +
+                    ", \"workers\": " + std::to_string(kWorkers) +
+                    ", \"frames_per_link\": " + std::to_string(kFrames) +
+                    ", \"seconds_off\": " + std::to_string(seconds_off) +
+                    ", \"seconds_on\": " + std::to_string(seconds_on) +
+                    ", \"overhead_frac\": " + std::to_string(overhead) +
+                    ", \"stats\": " + stats_json + "}";
+  return out;
+}
+
 bool write_bench_json(const std::string& path) {
   std::printf("--- link-server harness (writing %s) ---\n", path.c_str());
   const unsigned hardware_threads = std::thread::hardware_concurrency();
@@ -254,6 +322,8 @@ bool write_bench_json(const std::string& path) {
   }
   std::printf("headline speedup (valid rows): %.2fx\n", best_valid_speedup);
 
+  const std::string telemetry_section = measure_telemetry_section(alphabet);
+
   std::ofstream out(path);
   out << "{\n";
   out << "  \"hardware_threads\": " << hardware_threads << ",\n";
@@ -276,23 +346,101 @@ bool write_bench_json(const std::string& path) {
       out << (s == 0 ? "" : ", ") << "\""
           << obs::server_stage_name(static_cast<obs::ServerStage>(s))
           << "\": {\"frames\": " << st.frames
-          << ", \"max_depth\": " << st.max_depth << "}";
+          << ", \"max_depth\": " << st.max_depth
+          << ", \"backpressure\": " << st.backpressure << "}";
     }
     out << "}}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  out << "  \"telemetry\": " << telemetry_section << ",\n";
   out << "  \"best_valid_speedup\": " << best_valid_speedup << "\n";
   out << "}\n";
   return deterministic && alloc_free;
+}
+
+// ---------------------------------------------------------------------------
+// Smoke-mode telemetry export validation.
+
+/// Every JSONL line must parse as one JSON object, and at least one must
+/// carry server-stage stats with non-empty latency distributions; the
+/// Prometheus snapshot must expose the per-stage quantile summaries.
+bool validate_telemetry_export() {
+  std::ifstream in(kSmokeJsonl);
+  if (!in) {
+    std::fprintf(stderr, "telemetry export: %s missing\n", kSmokeJsonl);
+    return false;
+  }
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_stage_quantiles = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const auto doc = json_parse(line);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "telemetry export: %s line %zu: %s\n", kSmokeJsonl,
+                   lines, doc.error.c_str());
+      return false;
+    }
+    if (doc.value.find("metrics") == nullptr) {
+      std::fprintf(stderr, "telemetry export: line %zu lacks \"metrics\"\n",
+                   lines);
+      return false;
+    }
+    const JsonValue* server = doc.value.find("server");
+    if (server != nullptr && server->is_array() && !server->as_array().empty()) {
+      const JsonValue& stats = server->as_array().front();
+      const JsonValue* synth = stats.find("synthesize");
+      if (synth != nullptr) {
+        const JsonValue* busy = synth->find("busy_us");
+        if (busy != nullptr && busy->number_or("count", 0.0) > 0.0 &&
+            busy->number_or("p50", -1.0) >= 0.0)
+          saw_stage_quantiles = true;
+      }
+    }
+  }
+  if (lines == 0) {
+    std::fprintf(stderr, "telemetry export: %s is empty\n", kSmokeJsonl);
+    return false;
+  }
+  if (!saw_stage_quantiles) {
+    std::fprintf(stderr, "telemetry export: no JSONL sample carried per-stage "
+                         "latency quantiles\n");
+    return false;
+  }
+  std::ifstream prom_in(kSmokeProm);
+  if (!prom_in) {
+    std::fprintf(stderr, "telemetry export: %s missing\n", kSmokeProm);
+    return false;
+  }
+  std::string prom((std::istreambuf_iterator<char>(prom_in)),
+                   std::istreambuf_iterator<char>());
+  for (const char* needle :
+       {"# TYPE bis_server_stage_busy_us summary",
+        "bis_server_stage_busy_us{stage=\"synthesize\",quantile=\"0.5\"}",
+        "bis_server_e2e_us_count"}) {
+    if (prom.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "telemetry export: %s lacks '%s'\n", kSmokeProm,
+                   needle);
+      return false;
+    }
+  }
+  std::printf("telemetry export: %zu JSONL sample(s) parse, per-stage "
+              "quantiles present, Prometheus snapshot ok\n",
+              lines);
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool force = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--force") == 0) {
+      force = true;
     } else if (std::strcmp(argv[i], "--alloc-debug") == 0) {
       alloc_debug();
       return 0;
@@ -303,14 +451,27 @@ int main(int argc, char** argv) {
   }
 
   if (smoke) {
-    // CI gate: correctness only — 64-link determinism diff vs the
-    // sequential reference plus the steady-state allocation assert.
+    // CI gate: correctness with live telemetry export on — 64-link
+    // determinism diff vs the sequential reference (streaming JSONL +
+    // Prometheus snapshots the whole time), the steady-state allocation
+    // assert with telemetry still enabled, then export validation.
+    g_smoke_export = true;
     const bool deterministic = check_determinism(/*links=*/64, /*frames=*/2);
+    {
+      // Final sample must carry server stats: stop the sink while a server
+      // is still attached (the sink also must be quiescent before the
+      // zero-alloc gate — its sampler thread allocates by design).
+      core::LinkServer server(server_config(/*links=*/8, /*workers=*/2));
+      server.run(2);
+      if (auto* sink = obs::TelemetrySink::global()) sink->stop();
+    }
     std::uint64_t steady_allocs = 0;
     const bool alloc_free = check_zero_alloc(steady_allocs);
-    return deterministic && alloc_free ? 0 : 1;
+    const bool export_ok = validate_telemetry_export();
+    return deterministic && alloc_free && export_ok ? 0 : 1;
   }
 
+  if (!bench::guard_bench_host("bench_server", force)) return 2;
   const bool ok = write_bench_json("BENCH_server.json");
   if (!ok) std::fprintf(stderr, "CONTRACT FAILURE: see harness output above\n");
   return ok ? 0 : 1;

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/random.hpp"
 #include "core/sweep_runner.hpp"
 #include "dsp/resample.hpp"
@@ -258,11 +259,14 @@ int main(int argc, char** argv) {
   // CI determinism mode: write only the (deterministic) sweep JSON.
   std::string sweep_json_path;
   std::size_t sweep_threads = 1;
+  bool force = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sweep-json") == 0 && i + 1 < argc) {
       sweep_json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sweep-threads") == 0 && i + 1 < argc) {
       sweep_threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--force") == 0) {
+      force = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
@@ -278,6 +282,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!bench::guard_bench_host("bench_sweep", force)) return 2;
   const bool ok = write_bench_json("BENCH_sweep.json");
   if (!ok) std::fprintf(stderr, "PARITY FAILURE: see harness output above\n");
   return ok ? 0 : 1;

@@ -5,12 +5,40 @@
 /// paper figure/table reports (shape reproduction; see EXPERIMENTS.md).
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/csv.hpp"
 
 namespace bench {
+
+/// Stale-recording guard for benches that write BENCH_*.json trajectories
+/// with thread-scaling rows. On a host without real parallelism
+/// (hardware_concurrency() < 2) every multi-thread row would be recorded
+/// "valid": false — a baseline refresh from such a host silently degrades
+/// the committed trajectory. Returns true when writing may proceed; when it
+/// returns false the caller should exit without writing (the user can
+/// override with --force).
+inline bool guard_bench_host(const char* bench_name, bool force) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw >= 2) return true;
+  if (force) {
+    std::printf(
+        "%s: WARNING: 1-core host — every multi-thread row will be "
+        "\"valid\": false (--force given, writing anyway)\n",
+        bench_name);
+    return true;
+  }
+  std::fprintf(
+      stderr,
+      "%s: refusing to write a BENCH_*.json baseline from a 1-core host "
+      "(hardware_concurrency=%u): every multi-thread scaling row would be "
+      "\"valid\": false. Pass --force to record anyway.\n",
+      bench_name, hw);
+  return false;
+}
 
 inline void banner(const std::string& id, const std::string& what,
                    const std::string& paper_expectation) {

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <type_traits>
 
@@ -57,7 +58,8 @@ class MpmcFrameQueue {
 
   /// False when the ring is full. On success the item is visible to any
   /// consumer that subsequently pops it (release → acquire via the cell's
-  /// sequence number).
+  /// sequence number). Each failed call bumps the backpressure counter —
+  /// the cold path, so the RMW costs nothing in steady state.
   bool try_push(const T& value) {
     std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     for (;;) {
@@ -73,7 +75,9 @@ class MpmcFrameQueue {
         }
         // CAS failure reloaded pos; retry with the new value.
       } else if (diff < 0) {
-        return false;  // full: the cell still holds an unconsumed item
+        // Full: the cell still holds an unconsumed item.
+        push_failures_.fetch_add(1, std::memory_order_relaxed);
+        return false;
       } else {
         pos = enqueue_pos_.load(std::memory_order_relaxed);
       }
@@ -110,6 +114,12 @@ class MpmcFrameQueue {
     return enq >= deq ? enq - deq : 0;
   }
 
+  /// Number of try_push calls that found the ring full (backpressure).
+  /// A producer that retries until success counts every failed attempt.
+  std::uint64_t push_failures() const {
+    return push_failures_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Cell {
     std::atomic<std::size_t> seq;
@@ -123,6 +133,7 @@ class MpmcFrameQueue {
   // cache lines so a busy producer doesn't false-share with consumers.
   alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
   alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+  alignas(64) std::atomic<std::uint64_t> push_failures_{0};
 };
 
 /// Bounded single-producer/single-consumer ring. Exactly one thread may
@@ -146,7 +157,10 @@ class SpscFrameQueue {
   bool try_push(const T& value) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t tail = tail_.load(std::memory_order_acquire);
-    if (head - tail >= capacity_) return false;  // full
+    if (head - tail >= capacity_) {  // full
+      push_failures_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     ring_[head & mask_] = value;
     head_.store(head + 1, std::memory_order_release);
     return true;
@@ -166,12 +180,18 @@ class SpscFrameQueue {
            tail_.load(std::memory_order_relaxed);
   }
 
+  /// Number of try_push calls that found the ring full (backpressure).
+  std::uint64_t push_failures() const {
+    return push_failures_.load(std::memory_order_relaxed);
+  }
+
  private:
   const std::size_t capacity_;
   const std::size_t mask_;
   std::unique_ptr<T[]> ring_;
   alignas(64) std::atomic<std::size_t> head_{0};  ///< Producer cursor.
   alignas(64) std::atomic<std::size_t> tail_{0};  ///< Consumer cursor.
+  alignas(64) std::atomic<std::uint64_t> push_failures_{0};
 };
 
 }  // namespace bis

@@ -1,0 +1,90 @@
+#pragma once
+
+/// @file json.hpp
+/// Minimal recursive-descent JSON reader for the repo's own artifacts
+/// (BENCH_*.json trajectories, telemetry JSONL, metric dumps). Full JSON
+/// value model — objects keep insertion order; numbers are doubles; `null`
+/// parses to a distinct kind (the writers emit it for NaN/Inf). Not a
+/// general-purpose library: inputs are trusted repo outputs, so the parser
+/// favors clear errors (line/column in the message) over recovery.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bis {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// Members in insertion order (the order the writer emitted them).
+using JsonMembers = std::vector<std::pair<std::string, JsonValue>>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const JsonArray& as_array() const { return *array_; }
+  const JsonMembers& members() const { return *members_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// `find` + number check: the member's value when it is a finite-or-not
+  /// number, @p fallback when absent, null, or another kind.
+  double number_or(std::string_view key, double fallback) const;
+
+  /// `find` + bool check with fallback.
+  bool bool_or(std::string_view key, bool fallback) const;
+
+  /// `find` + string check; @p fallback when absent or not a string.
+  std::string string_or(std::string_view key, std::string_view fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(JsonArray a);
+  static JsonValue make_object(JsonMembers m);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Indirection keeps JsonValue movable/copyable despite self-reference.
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonMembers> members_;
+};
+
+/// Result of a parse: value plus error diagnostics. `ok()` is false on any
+/// syntax error or trailing garbage; `error` then holds a "line:col: what"
+/// message.
+struct JsonParseResult {
+  JsonValue value;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+/// Parse one complete JSON document (rejects trailing non-whitespace).
+JsonParseResult json_parse(std::string_view text);
+
+/// Parse a whole file; `error` covers both I/O and syntax failures.
+JsonParseResult json_parse_file(const std::string& path);
+
+}  // namespace bis

@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "dsp/fft.hpp"
+#include "obs/sink.hpp"
 #include "obs/trace.hpp"
 #include "radar/range_processor.hpp"
 
@@ -148,11 +149,20 @@ LinkServer::LinkServer(const LinkServerConfig& config,
   // the caller is a pipeline lane in run(). Workers warm their own scratch
   // on startup below.
   links_.front()->sim->warm_caches();
+  // The per-link LinkSimulator constructors above already started the global
+  // TelemetrySink when base.telemetry_export asks for one; publish this
+  // server's per-stage stats through it either way.
+  if (auto* sink = obs::TelemetrySink::global()) {
+    sink->attach_server_stats(&stats_);
+  }
   for (std::size_t w = 1; w < config_.workers; ++w)
     threads_.emplace_back([this] { worker_main(); });
 }
 
 LinkServer::~LinkServer() {
+  if (auto* sink = obs::TelemetrySink::global()) {
+    sink->detach_server_stats(&stats_);
+  }
   stop_.store(true, std::memory_order_release);
   // Parked workers use 1 ms timed waits, so even a lost notify here only
   // delays the join by a millisecond.
@@ -169,7 +179,12 @@ void LinkServer::make_payload(LinkState& st) {
 void LinkServer::push_synth_token(std::size_t link) {
   LinkState& st = *links_[link];
   st.synth_enq_ns = obs::ServerStatsCollector::now_ns();
-  BIS_CHECK(q_synth_.try_push(static_cast<std::uint32_t>(link)));
+  // Rings are sized so a push can't meet a full queue in steady state; if it
+  // ever does, count the backpressure and spin until a consumer drains.
+  while (!q_synth_.try_push(static_cast<std::uint32_t>(link))) {
+    stats_.add_backpressure(obs::ServerStage::kSynthesize);
+    std::this_thread::yield();
+  }
   stats_.observe_depth(obs::ServerStage::kSynthesize, q_synth_.approx_size());
   ec_.notify_all();
 }
@@ -179,7 +194,10 @@ void LinkServer::push_stage(std::size_t stage, std::size_t link,
   LinkState& st = *links_[link];
   st.enq_ns[slot] = obs::ServerStatsCollector::now_ns();
   const auto token = static_cast<std::uint64_t>((link << 1) | slot);
-  BIS_CHECK(q_[stage - 1]->try_push(token));
+  while (!q_[stage - 1]->try_push(token)) {
+    stats_.add_backpressure(static_cast<obs::ServerStage>(stage));
+    std::this_thread::yield();
+  }
   stats_.observe_depth(static_cast<obs::ServerStage>(stage),
                        q_[stage - 1]->approx_size());
   ec_.notify_all();
@@ -202,6 +220,7 @@ void LinkServer::run_synthesize(std::uint32_t link) {
   const std::uint64_t t0 = obs::ServerStatsCollector::now_ns();
   const std::size_t frame = st.prepared;
   const std::size_t slot = frame & 1;
+  st.frame_start_ns[slot] = st.synth_enq_ns;
   UplinkFrameJob& job = st.jobs[slot];
   job.reset_result();
   make_payload(st);
@@ -254,6 +273,11 @@ void LinkServer::try_fold(std::size_t link) {
       if (!st.decode_done[slot].load(std::memory_order_acquire)) break;
       const UplinkFrameJob& job = st.jobs[slot];
       st.sim->fold_uplink_frame(job);
+      const std::uint64_t start = st.frame_start_ns[slot];
+      if (start != 0) {
+        const std::uint64_t now = obs::ServerStatsCollector::now_ns();
+        if (now > start) stats_.record_e2e(now - start);
+      }
       if (config_.collect_bits)
         st.decoded_bits.insert(st.decoded_bits.end(),
                                job.result.decode.bits.begin(),

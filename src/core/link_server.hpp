@@ -167,6 +167,9 @@ class LinkServer {
     phy::Bits decoded_bits;     ///< Accumulated decoded bits (collect_bits).
     std::uint64_t synth_enq_ns = 0;             ///< Telemetry stamps: queue
     std::array<std::uint64_t, 2> enq_ns{};      ///< entry time per token/slot.
+    std::array<std::uint64_t, 2> frame_start_ns{};  ///< Synth-token enqueue
+                                ///< stamp per slot, kept until the fold so the
+                                ///< end-to-end frame latency can be recorded.
   };
 
   /// Futex-free parking lot for idle workers: prepare/wait with an epoch

@@ -10,6 +10,7 @@
 #include "dsp/kernels/kernels.hpp"
 #include "dsp/resample.hpp"
 #include "dsp/window.hpp"
+#include "obs/sink.hpp"
 #include "obs/telemetry.hpp"
 #include "rf/noise.hpp"
 #include "obs/trace.hpp"
@@ -81,6 +82,11 @@ LinkSimulator::LinkSimulator(const SystemConfig& config,
   // dsp/radar/tag code that has no SystemConfig), so an opted-in simulator
   // latches it on for everyone. The per-run report below stays per-instance.
   if (config_.telemetry) obs::set_enabled(true);
+  // Per-run trace path and live export latch the same way: process-wide,
+  // first export configuration wins.
+  if (!config_.trace_path.empty()) obs::set_trace_dump_path(config_.trace_path);
+  if (config_.telemetry_export.any())
+    obs::TelemetrySink::ensure_global(config_.telemetry_export);
   // SIMD dispatch is likewise process-wide (the kernel table is a global);
   // an explicit config override must take effect, so an unknown/unavailable
   // name is a hard error rather than a silent fallback.

@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/sink.hpp"
 #include "phy/packet.hpp"
 #include "phy/slope_alphabet.hpp"
 #include "phy/uplink.hpp"
@@ -90,6 +91,24 @@ struct SystemConfig {
                                      ///< var enables it too. Off: the only
                                      ///< cost on the hot path is a relaxed
                                      ///< atomic load + branch per site.
+  obs::TelemetrySinkOptions telemetry_export;  ///< Live metric export: when
+                                     ///< any path/port is set, building a
+                                     ///< LinkServer (or SweepRunner run)
+                                     ///< starts the process-wide
+                                     ///< obs::TelemetrySink streaming JSONL
+                                     ///< time-series and/or Prometheus text
+                                     ///< snapshots at interval_ms cadence.
+                                     ///< Implies telemetry. First configured
+                                     ///< export wins (process-wide latch).
+  std::string trace_path;            ///< Chrome-trace output path for this
+                                     ///< run ("" = keep default bis_trace_
+                                     ///< <pid>.json). Latched process-wide
+                                     ///< alongside telemetry; the BIS_TRACE
+                                     ///< env var ("1" for default path, any
+                                     ///< other value = explicit path, "%p"
+                                     ///< expands to the pid) sets the same
+                                     ///< knob, so concurrent processes can
+                                     ///< write distinct trace files.
   std::string simd;                  ///< SIMD kernel dispatch override:
                                      ///< "scalar" (or "off"), "sse2", "avx2".
                                      ///< Empty = keep the process-wide choice

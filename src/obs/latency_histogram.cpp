@@ -1,0 +1,82 @@
+#include "obs/latency_histogram.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bis::obs {
+
+std::uint64_t LatencyHistogram::bucket_lower(std::size_t i) {
+  if (i < kSubBuckets) return i;
+  const std::uint32_t octave =
+      static_cast<std::uint32_t>(i / kSubBuckets) + kSubBits - 1;
+  const std::uint64_t sub = i % kSubBuckets;
+  return (std::uint64_t{1} << octave) +
+         (sub << (octave - kSubBits));
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<std::uint64_t>::max();
+  return bucket_lower(i + 1);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Snapshot the buckets once so the scan is consistent even while other
+  // threads keep recording.
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t next = cum + counts[i];
+    if (static_cast<double>(next) >= target) {
+      const auto lower = static_cast<double>(bucket_lower(i));
+      const auto upper = static_cast<double>(bucket_upper(i));
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum = next;
+  }
+  return static_cast<double>(bucket_upper(kBuckets - 1));
+}
+
+std::uint64_t LatencyHistogram::max_bound() const {
+  for (std::size_t i = kBuckets; i-- > 0;) {
+    if (buckets_[i].load(std::memory_order_relaxed) != 0) return bucket_upper(i);
+  }
+  return 0;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace bis::obs

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <initializer_list>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -149,14 +151,24 @@ Histogram& Registry::histogram(std::string_view name,
   return *it->second;
 }
 
-void Registry::write_json(std::ostream& os) const {
+LatencyHistogram& Registry::latency(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latencies_.find(name);
+  if (it == latencies_.end())
+    it = latencies_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  return *it->second;
+}
+
+void Registry::write_json(std::ostream& os, bool pretty) const {
   std::lock_guard<std::mutex> lock(mu_);
   os << "{";
   bool first = true;
   const auto sep = [&] {
     if (!first) os << ",";
     first = false;
-    os << "\n  ";
+    os << (pretty ? "\n  " : " ");
   };
   for (const auto& [name, c] : counters_) {
     sep();
@@ -164,16 +176,83 @@ void Registry::write_json(std::ostream& os) const {
   }
   for (const auto& [name, g] : gauges_) {
     sep();
-    os << '"' << json_escape(name) << "\": " << g->value();
+    os << '"' << json_escape(name) << "\": " << json_number(g->value());
   }
   for (const auto& [name, h] : histograms_) {
     sep();
     os << '"' << json_escape(name) << "\": {\"count\": " << h->count()
-       << ", \"sum\": " << h->sum() << ", \"mean\": " << h->mean()
-       << ", \"p50\": " << h->quantile(0.5) << ", \"p95\": " << h->quantile(0.95)
-       << ", \"p99\": " << h->quantile(0.99) << "}";
+       << ", \"sum\": " << json_number(h->sum())
+       << ", \"mean\": " << json_number(h->mean())
+       << ", \"p50\": " << json_number(h->quantile(0.5))
+       << ", \"p95\": " << json_number(h->quantile(0.95))
+       << ", \"p99\": " << json_number(h->quantile(0.99)) << "}";
   }
-  os << "\n}";
+  for (const auto& [name, l] : latencies_) {
+    sep();
+    os << '"' << json_escape(name) << "\": {\"count\": " << l->count()
+       << ", \"sum\": " << l->sum()
+       << ", \"mean\": " << json_number(l->mean())
+       << ", \"p50\": " << json_number(l->p50())
+       << ", \"p90\": " << json_number(l->p90())
+       << ", \"p99\": " << json_number(l->p99())
+       << ", \"p999\": " << json_number(l->p999()) << "}";
+  }
+  os << (pretty ? "\n}" : "}");
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream oss;
+  oss << v;
+  return oss.str();
+}
+
+void Registry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " gauge\n"
+       << n << " " << prometheus_number(g->value()) << "\n";
+  }
+  const auto summary = [&os](const std::string& n,
+                             std::initializer_list<std::pair<const char*, double>>
+                                 quantiles,
+                             double sum, std::uint64_t count) {
+    os << "# TYPE " << n << " summary\n";
+    for (const auto& [q, v] : quantiles)
+      os << n << "{quantile=\"" << q << "\"} " << prometheus_number(v) << "\n";
+    os << n << "_sum " << prometheus_number(sum) << "\n";
+    os << n << "_count " << count << "\n";
+  };
+  for (const auto& [name, h] : histograms_)
+    summary(prometheus_name(name),
+            {{"0.5", h->quantile(0.5)},
+             {"0.95", h->quantile(0.95)},
+             {"0.99", h->quantile(0.99)}},
+            h->sum(), h->count());
+  for (const auto& [name, l] : latencies_)
+    summary(prometheus_name(name),
+            {{"0.5", l->p50()},
+             {"0.9", l->p90()},
+             {"0.99", l->p99()},
+             {"0.999", l->p999()}},
+            static_cast<double>(l->sum()), l->count());
 }
 
 std::string Registry::to_json() const {
@@ -187,6 +266,7 @@ void Registry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, l] : latencies_) l->reset();
 }
 
 }  // namespace bis::obs

@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/latency_histogram.hpp"
 #include "obs/telemetry.hpp"
 
 namespace bis::obs {
@@ -127,10 +128,23 @@ class Registry {
   Histogram& histogram(std::string_view name,
                        std::vector<double> upper_bounds = {});
 
+  /// Fixed-memory log-bucketed latency histogram (latency_histogram.hpp) —
+  /// the hot-path choice for per-frame timings. Spell the unit in the name
+  /// (`bis.sweep.point_us`).
+  LatencyHistogram& latency(std::string_view name);
+
   /// Dump every metric as one JSON object: counters/gauges as values,
-  /// histograms as {count, sum, p50, p95, p99, buckets}.
-  void write_json(std::ostream& os) const;
+  /// histograms as {count, sum, p50, p95, p99, buckets}. @p pretty selects
+  /// multi-line output; pass false for a single-line object suitable for a
+  /// JSONL time-series (obs::TelemetrySink).
+  void write_json(std::ostream& os, bool pretty) const;
+  void write_json(std::ostream& os) const { write_json(os, true); }
   std::string to_json() const;
+
+  /// Prometheus text exposition (format 0.0.4): counters/gauges as single
+  /// samples, histograms and latency histograms as summaries with
+  /// {quantile="…"} labels. Metric names are sanitized ('.' → '_').
+  void write_prometheus(std::ostream& os) const;
 
   /// Zero every metric, keeping registrations (tests/benchmarks).
   void reset();
@@ -143,6 +157,17 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      latencies_;
 };
+
+/// Sanitize a metric name for Prometheus exposition: every character outside
+/// [a-zA-Z0-9_:] becomes '_' (`bis.pool.task_latency_us` →
+/// `bis_pool_task_latency_us`).
+std::string prometheus_name(std::string_view name);
+
+/// Format a double for Prometheus exposition ("NaN", "+Inf", "-Inf" are
+/// valid sample values there, unlike JSON).
+std::string prometheus_number(double v);
 
 }  // namespace bis::obs

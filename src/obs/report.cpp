@@ -78,22 +78,25 @@ void RunReport::write_json(std::ostream& os) const {
      << ", \"uplink\": " << uplink_frames
      << ", \"integrated\": " << integrated_frames << "},\n";
   os << "  \"chirps_processed\": " << chirps_processed << ",\n";
+  // Rates/SNRs can be NaN (no attempts yet) or ±Inf (zero-noise SNR);
+  // json_number maps those to null so the report always parses.
   os << "  \"downlink\": {\"sync_attempts\": " << sync_attempts
      << ", \"sync_locks\": " << sync_locks
-     << ", \"sync_lock_rate\": " << sync_lock_rate()
+     << ", \"sync_lock_rate\": " << json_number(sync_lock_rate())
      << ", \"crc_attempts\": " << crc_attempts
      << ", \"crc_passes\": " << crc_passes
-     << ", \"crc_pass_rate\": " << crc_pass_rate()
+     << ", \"crc_pass_rate\": " << json_number(crc_pass_rate())
      << ", \"bits\": " << downlink_bits
      << ", \"bit_errors\": " << downlink_bit_errors
-     << ", \"ber\": " << downlink_ber() << "},\n";
+     << ", \"ber\": " << json_number(downlink_ber()) << "},\n";
   os << "  \"uplink\": {\"detection_attempts\": " << detection_attempts
      << ", \"detections\": " << detections
      << ", \"bits\": " << uplink_bits
      << ", \"bit_errors\": " << uplink_bit_errors
-     << ", \"ber\": " << uplink_ber()
-     << ", \"detector_snr_db\": " << last_detector_snr_db
-     << ", \"mean_detector_snr_db\": " << mean_detector_snr_db() << "},\n";
+     << ", \"ber\": " << json_number(uplink_ber())
+     << ", \"detector_snr_db\": " << json_number(last_detector_snr_db)
+     << ", \"mean_detector_snr_db\": " << json_number(mean_detector_snr_db())
+     << "},\n";
   os << "  \"fft_plan_cache\": {\"hits\": " << fft_plan_hits
      << ", \"misses\": " << fft_plan_misses << ", \"plans\": " << fft_plans
      << "},\n";
@@ -102,13 +105,14 @@ void RunReport::write_json(std::ostream& os) const {
      << ", \"misses\": " << regrid_plan_misses << ", \"plans\": " << regrid_plans
      << "},\n";
   os << "  \"awgn_samples\": " << awgn_samples << ",\n";
-  os << "  \"stage_seconds\": {\"if_synthesis\": " << stage.if_synthesis_s
-     << ", \"range_fft\": " << stage.range_fft_s
-     << ", \"if_correction\": " << stage.if_correction_s
-     << ", \"detect\": " << stage.detect_s
-     << ", \"uplink_decode\": " << stage.uplink_decode_s
-     << ", \"tag_frontend\": " << stage.tag_frontend_s
-     << ", \"tag_decode\": " << stage.tag_decode_s << "}\n";
+  os << "  \"stage_seconds\": {\"if_synthesis\": "
+     << json_number(stage.if_synthesis_s)
+     << ", \"range_fft\": " << json_number(stage.range_fft_s)
+     << ", \"if_correction\": " << json_number(stage.if_correction_s)
+     << ", \"detect\": " << json_number(stage.detect_s)
+     << ", \"uplink_decode\": " << json_number(stage.uplink_decode_s)
+     << ", \"tag_frontend\": " << json_number(stage.tag_frontend_s)
+     << ", \"tag_decode\": " << json_number(stage.tag_decode_s) << "}\n";
   os << "}";
 }
 

@@ -17,6 +17,8 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/latency_histogram.hpp"
+
 namespace bis::obs {
 
 /// The streaming pipeline's stages, in flow order. Kept in obs (not core) so
@@ -37,31 +39,58 @@ struct StageQueueStats {
   std::uint64_t busy_ns = 0;        ///< Total time spent executing the stage.
   std::uint64_t queue_wait_ns = 0;  ///< Total time jobs sat queued before it.
   std::uint64_t max_depth = 0;      ///< Peak observed queue depth.
+  std::uint64_t backpressure = 0;   ///< try_push calls that found the stage's
+                                    ///< input ring full.
 
   double mean_busy_us() const;
   double mean_queue_wait_us() const;
 };
 
 /// Lock-free accumulator shared by every worker of one LinkServer run.
+/// Besides the always-on totals, every record feeds fixed-memory log-bucket
+/// latency histograms (queue-wait and service time per stage, plus
+/// end-to-end frame latency), so a live exporter can publish
+/// p50/p90/p99/p99.9 without sampling bias. Histogram recording shares the
+/// obs::enabled() gate — telemetry off keeps the two-fetch_add cost.
 class ServerStatsCollector {
  public:
   /// Record one completed job: @p wait_ns queued + @p busy_ns executing.
   /// Pass zeros when telemetry is disabled (the frame still counts).
   void record(ServerStage stage, std::uint64_t wait_ns, std::uint64_t busy_ns);
 
+  /// Record one frame's end-to-end latency: synth-token enqueue → fold done.
+  void record_e2e(std::uint64_t ns) { e2e_ns_.record(ns); }
+
   /// Fold an observed depth of @p stage's input queue into the peak.
   void observe_depth(ServerStage stage, std::uint64_t depth);
+
+  /// Count one failed push into @p stage's input ring (backpressure).
+  void add_backpressure(ServerStage stage);
 
   /// Monotonic nanosecond stamp, or 0 when telemetry is disabled — feed the
   /// difference of two stamps straight to record().
   static std::uint64_t now_ns();
 
   StageQueueStats snapshot(ServerStage stage) const;
+
+  /// Latency distributions (nanosecond samples; empty with telemetry off).
+  const LatencyHistogram& wait_latency(ServerStage stage) const {
+    return wait_ns_[static_cast<std::size_t>(stage)];
+  }
+  const LatencyHistogram& busy_latency(ServerStage stage) const {
+    return busy_ns_[static_cast<std::size_t>(stage)];
+  }
+  const LatencyHistogram& e2e_latency() const { return e2e_ns_; }
+
   void reset();
 
-  /// One JSON object: {"synthesize": {...}, ..., "decode": {...}}.
+  /// One JSON object: {"synthesize": {…, "busy_us": {quantiles}, "wait_us":
+  /// {quantiles}}, …, "e2e_us": {quantiles}}.
   void write_json(std::ostream& os) const;
   std::string to_json() const;
+
+  /// Prometheus text exposition with {stage="…"} labels.
+  void write_prometheus(std::ostream& os) const;
 
  private:
   struct Cell {
@@ -69,8 +98,12 @@ class ServerStatsCollector {
     std::atomic<std::uint64_t> busy_ns{0};
     std::atomic<std::uint64_t> queue_wait_ns{0};
     std::atomic<std::uint64_t> max_depth{0};
+    std::atomic<std::uint64_t> backpressure{0};
   };
   std::array<Cell, kServerStages> cells_;
+  std::array<LatencyHistogram, kServerStages> wait_ns_;
+  std::array<LatencyHistogram, kServerStages> busy_ns_;
+  LatencyHistogram e2e_ns_;
 };
 
 }  // namespace bis::obs

@@ -1,7 +1,11 @@
 #include "obs/telemetry.hpp"
 
+#include <unistd.h>
+
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 #include "obs/trace.hpp"
 
@@ -20,6 +24,21 @@ namespace {
 std::string& env_path_storage() {
   static std::string path;
   return path;
+}
+
+/// Expand every "%p" in @p path to the process id.
+std::string expand_pid(std::string_view path) {
+  std::string out;
+  out.reserve(path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (path[i] == '%' && i + 1 < path.size() && path[i + 1] == 'p') {
+      out += std::to_string(static_cast<long>(::getpid()));
+      ++i;
+    } else {
+      out += path[i];
+    }
+  }
+  return out;
 }
 
 void dump_trace_at_exit() {
@@ -41,7 +60,7 @@ bool init_from_env() {
   if (val == "0") return false;
   set_enabled(true);
   if (val != "1") {
-    env_path_storage() = std::string(val);
+    env_path_storage() = expand_pid(val);
     std::atexit(dump_trace_at_exit);
   }
   return true;
@@ -54,6 +73,22 @@ const bool g_env_initialized = init_from_env();
 const std::string& trace_env_path() {
   (void)g_env_initialized;
   return env_path_storage();
+}
+
+void set_trace_dump_path(std::string_view path) {
+  (void)g_env_initialized;
+  if (path.empty()) return;
+  set_enabled(true);
+  const bool first = env_path_storage().empty();
+  env_path_storage() = expand_pid(path);
+  if (first) std::atexit(dump_trace_at_exit);
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream oss;  // default precision matches the stream inserters
+  oss << v;                // used everywhere else in the JSON writers
+  return oss.str();
 }
 
 std::string json_escape(std::string_view s) {

@@ -35,11 +35,25 @@ inline bool enabled() {
 /// spans already open stay consistent — activation is latched per span).
 void set_enabled(bool on);
 
-/// Trace-dump path requested via BIS_TRACE (empty when none). The dump to
-/// this path happens automatically at process exit.
+/// Trace-dump path currently configured (via BIS_TRACE or
+/// set_trace_dump_path; empty when none). The dump to this path happens
+/// automatically at process exit.
 const std::string& trace_env_path();
+
+/// Configure (or override) the Chrome-trace dump path for this process and
+/// enable telemetry. `%p` in @p path expands to the pid, so concurrent
+/// processes sharing a command line write distinct files. The same expansion
+/// applies to a path given via BIS_TRACE. Called by LinkSimulator when
+/// `SystemConfig::trace_path` is set; an empty path is a no-op (it never
+/// clears an already-configured dump).
+void set_trace_dump_path(std::string_view path);
 
 /// Escape a string for embedding in a JSON string literal.
 std::string json_escape(std::string_view s);
+
+/// Format a double as a JSON number token. JSON has no representation for
+/// NaN or ±Inf — emitting them raw (as `operator<<` would) produces a file
+/// no parser accepts — so non-finite values serialize as `null`.
+std::string json_number(double v);
 
 }  // namespace bis::obs

@@ -1,0 +1,161 @@
+// obs::LatencyHistogram: bucket-math round trips across the whole uint64
+// range, quantile estimates, bucket-exact merging, the telemetry-off gating
+// contract, and lock-free recording from concurrent producers (the TSan
+// matrix runs this suite).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "obs/latency_histogram.hpp"
+#include "obs/telemetry.hpp"
+
+namespace bis::obs {
+namespace {
+
+class LatencyHistogramTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    set_enabled(true);
+  }
+  void TearDown() override { set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(LatencyHistogramTest, SmallValuesGetExactBuckets) {
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(v), v);
+    EXPECT_EQ(LatencyHistogram::bucket_lower(v), v);
+    EXPECT_EQ(LatencyHistogram::bucket_upper(v), v + 1);
+  }
+}
+
+TEST_F(LatencyHistogramTest, BucketEdgesRoundTrip) {
+  // Every bucket's lower edge must map back to that bucket, and the value
+  // one below the (exclusive) upper edge must too.
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    const std::uint64_t lo = LatencyHistogram::bucket_lower(i);
+    const std::uint64_t hi = LatencyHistogram::bucket_upper(i);
+    EXPECT_EQ(LatencyHistogram::bucket_index(lo), i) << "lower edge of " << i;
+    EXPECT_EQ(LatencyHistogram::bucket_index(hi - 1), i)
+        << "upper edge of " << i;
+    if (i + 1 < LatencyHistogram::kBuckets) {
+      EXPECT_EQ(LatencyHistogram::bucket_index(hi), i + 1)
+          << "first value of " << i + 1;
+    }
+  }
+}
+
+TEST_F(LatencyHistogramTest, ExtremeValuesStayInRange) {
+  EXPECT_EQ(LatencyHistogram::bucket_index(0), 0u);
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_LT(LatencyHistogram::bucket_index(max), LatencyHistogram::kBuckets);
+  EXPECT_EQ(LatencyHistogram::bucket_index(max),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST_F(LatencyHistogramTest, BucketWidthStaysWithinQuarterOctave) {
+  // The design claim: relative bucket width <= 25% of the lower edge for all
+  // buckets past the exact range.
+  for (std::size_t i = LatencyHistogram::kSubBuckets;
+       i < LatencyHistogram::kBuckets - 1; ++i) {
+    const std::uint64_t lo = LatencyHistogram::bucket_lower(i);
+    const std::uint64_t hi = LatencyHistogram::bucket_upper(i);
+    EXPECT_LE(hi - lo, lo / 4 + 1) << "bucket " << i;
+  }
+}
+
+TEST_F(LatencyHistogramTest, CountSumMean) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST_F(LatencyHistogramTest, QuantilesOfUniformRamp) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  // Log-bucket interpolation: estimates land within one bucket width
+  // (<= 25%) of the true order statistic.
+  EXPECT_NEAR(h.p50(), 500.0, 130.0);
+  EXPECT_NEAR(h.p90(), 900.0, 230.0);
+  EXPECT_NEAR(h.p99(), 990.0, 250.0);
+  EXPECT_GE(h.p999(), h.p99());
+  EXPECT_GE(h.p99(), h.p90());
+  EXPECT_GE(h.p90(), h.p50());
+  EXPECT_GE(h.max_bound(), 1000u);
+}
+
+TEST_F(LatencyHistogramTest, QuantileOfSingleSample) {
+  LatencyHistogram h;
+  h.record(4096);
+  // All mass in one bucket: every quantile interpolates inside it.
+  EXPECT_GE(h.p50(), 4096.0);
+  EXPECT_LT(h.p999(), 4096.0 * 1.25 + 1.0);
+}
+
+TEST_F(LatencyHistogramTest, DisabledRecordIsIgnored) {
+  LatencyHistogram h;
+  set_enabled(false);
+  h.record(123);
+  EXPECT_EQ(h.count(), 0u);
+  set_enabled(true);
+  h.record(123);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST_F(LatencyHistogramTest, MergeIsBucketExact) {
+  LatencyHistogram a, b, both;
+  for (std::uint64_t v : {5u, 50u, 500u}) {
+    a.record(v);
+    both.record(v);
+  }
+  for (std::uint64_t v : {7u, 70u, 700u, 7000u}) {
+    b.record(v);
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.sum(), both.sum());
+  EXPECT_DOUBLE_EQ(a.p50(), both.p50());
+  EXPECT_DOUBLE_EQ(a.p999(), both.p999());
+}
+
+TEST_F(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max_bound(), 0u);
+}
+
+TEST_F(LatencyHistogramTest, ConcurrentRecordersLoseNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t v = 1; v <= kPerThread; ++v)
+        h.record(v + static_cast<std::uint64_t>(t));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace bis::obs
