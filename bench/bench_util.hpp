@@ -11,8 +11,28 @@
 #include <vector>
 
 #include "common/csv.hpp"
+#include "dsp/kernels/kernels.hpp"
+#include "dsp/precision.hpp"
 
 namespace bench {
+
+/// Host fingerprint recorded as the "host" object of every BENCH_*.json
+/// written by the perf harnesses: thread count, the SIMD target the rows
+/// were measured under, and the numeric tier of the normative rows. Numbers
+/// recorded under different targets or tiers are not comparable, so
+/// tools/bench_compare hard-errors when two files carry fingerprints that
+/// disagree on simd_target or precision (instead of silently diffing them).
+inline std::string host_fingerprint_json(
+    bis::dsp::Precision precision = bis::dsp::Precision::kDoubleStrict) {
+  std::string s = "{\"hardware_threads\": ";
+  s += std::to_string(std::thread::hardware_concurrency());
+  s += ", \"simd_target\": \"";
+  s += bis::dsp::kernels::target_name(bis::dsp::kernels::active_target());
+  s += "\", \"precision\": \"";
+  s += bis::dsp::precision_name(precision);
+  s += "\"}";
+  return s;
+}
 
 /// Stale-recording guard for benches that write BENCH_*.json trajectories
 /// with thread-scaling rows. On a host without real parallelism
@@ -23,6 +43,8 @@ namespace bench {
 /// override with --force).
 inline bool guard_bench_host(const char* bench_name, bool force) {
   const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("%s: host fingerprint %s\n", bench_name,
+              host_fingerprint_json().c_str());
   if (hw >= 2) return true;
   if (force) {
     std::printf(

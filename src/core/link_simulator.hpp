@@ -67,8 +67,12 @@ struct UplinkFrameJob {
   bool downlink_active = false;
   std::vector<rf::ChirpParams> chirps;
   std::vector<int> tag_states;
-  // Per-stage intermediates.
+  // Per-stage intermediates. Exactly one of if_samples / if_samples_f32 is
+  // populated per frame, selected by SystemConfig::precision: the float32
+  // buffers carry the synthesize → range-FFT leg of the float32_fast tier
+  // and convert to the double RangeProfile at the range-FFT output.
   std::vector<dsp::CVec> if_samples;
+  std::vector<dsp::CVecF> if_samples_f32;
   double mean_samples = 0.0;
   std::vector<radar::RangeProfile> profiles;
   radar::AlignedProfiles aligned;

@@ -1,0 +1,83 @@
+#include "core/precision_validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace bis::core {
+
+bool PrecisionDeltaReport::within(const PrecisionToleranceBounds& bounds) const {
+  return max_ber_delta <= bounds.max_ber_delta &&
+         max_snr_delta_db <= bounds.max_snr_delta_db &&
+         max_range_error_delta_m <= bounds.max_range_error_delta_m &&
+         max_detection_rate_delta <= bounds.max_detection_rate_delta;
+}
+
+std::string PrecisionDeltaReport::summary() const {
+  std::ostringstream oss;
+  oss << "ber Δ " << max_ber_delta << ", snr Δ " << max_snr_delta_db
+      << " dB, range-err Δ " << max_range_error_delta_m
+      << " m, det-rate Δ " << max_detection_rate_delta << " ("
+      << points_compared << " points, " << seeds_compared << " seeds)";
+  return oss.str();
+}
+
+namespace {
+
+SweepResult run_tier(const SystemConfig& base, std::span<const double> ranges_m,
+                     std::uint64_t seed, const SweepWorkload& workload,
+                     dsp::Precision precision) {
+  SystemConfig config = base;
+  config.precision = precision;
+  SweepOptions options;
+  options.mode = SweepMode::kUplink;
+  options.master_seed = seed;
+  options.threads = 1;  // Sequential: the harness compares numbers, not speed.
+  options.workload = workload;
+  const auto grid = range_sweep_grid(config, ranges_m);
+  return SweepRunner(options).run(grid);
+}
+
+}  // namespace
+
+PrecisionDeltaReport compare_precision_tiers(const SystemConfig& base,
+                                             std::span<const double> ranges_m,
+                                             std::span<const std::uint64_t> seeds,
+                                             const SweepWorkload& workload) {
+  BIS_CHECK(!ranges_m.empty());
+  BIS_CHECK(!seeds.empty());
+  PrecisionDeltaReport report;
+  for (const std::uint64_t seed : seeds) {
+    const SweepResult strict =
+        run_tier(base, ranges_m, seed, workload, dsp::Precision::kDoubleStrict);
+    const SweepResult fast =
+        run_tier(base, ranges_m, seed, workload, dsp::Precision::kFloat32Fast);
+    BIS_CHECK(strict.points.size() == fast.points.size());
+    for (std::size_t i = 0; i < strict.points.size(); ++i) {
+      const UplinkMeasurement& a = strict.points[i].uplink;
+      const UplinkMeasurement& b = fast.points[i].uplink;
+      report.max_ber_delta =
+          std::max(report.max_ber_delta, std::abs(a.ber - b.ber));
+      // SNR is only meaningful when both tiers detected the tag; a missed
+      // detection leaves the metric at 0 dB and the detection-rate delta is
+      // the gate that catches disagreement there.
+      if (a.detection_rate > 0.0 && b.detection_rate > 0.0)
+        report.max_snr_delta_db =
+            std::max(report.max_snr_delta_db,
+                     std::abs(a.mean_snr_processed_db - b.mean_snr_processed_db));
+      report.max_range_error_delta_m =
+          std::max(report.max_range_error_delta_m,
+                   std::abs(a.mean_range_error_m - b.mean_range_error_m));
+      report.max_detection_rate_delta =
+          std::max(report.max_detection_rate_delta,
+                   std::abs(a.detection_rate - b.detection_rate));
+      ++report.points_compared;
+    }
+    ++report.seeds_compared;
+  }
+  return report;
+}
+
+}  // namespace bis::core

@@ -1,0 +1,68 @@
+#pragma once
+
+/// @file precision_validation.hpp
+/// Statistical tolerance harness for the float32_fast numeric tier.
+///
+/// The double_strict tier is validated by *bit parity* (every SIMD target
+/// produces identical frames — tests/test_simd_kernels.cpp). float32_fast
+/// deliberately abandons that contract: FMA contraction, 8-lane reduction
+/// order, and float rounding all change the bits. What must NOT change is
+/// the physics: BER, SNR, detection rate, and localization error measured
+/// over a Monte-Carlo grid have to land within a small tolerance of the
+/// normative double pipeline, across multiple seeds. This harness runs the
+/// same sweep grid under both tiers (same master seed, so both consume
+/// identical RNG streams — see Rng::fill_gaussian(span<float>)) and reports
+/// the worst per-point deltas.
+///
+/// The gate is itself tested: tests/test_precision.cpp poisons the float32
+/// kernel table (dsp::kernels::detail::set_f32_test_poison) and asserts the
+/// deltas blow through the bounds — a tolerance harness that cannot fail is
+/// not a gate.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sweep_runner.hpp"
+
+namespace bis::core {
+
+/// Acceptance bounds on the per-point |float32 − double| metric deltas.
+/// Defaults are deliberately loose relative to healthy behaviour (measured
+/// deltas are ~10x smaller) and tight relative to a broken kernel (the
+/// poison test produces deltas ~50x larger): the gate separates the two
+/// regimes, it does not certify ULP-level agreement.
+struct PrecisionToleranceBounds {
+  double max_ber_delta = 0.02;            ///< Uplink BER difference.
+  double max_snr_delta_db = 0.5;          ///< Processed-SNR difference [dB].
+  double max_range_error_delta_m = 0.05;  ///< Mean range-error difference.
+  double max_detection_rate_delta = 0.02;
+};
+
+/// Worst-case per-point deltas between the two tiers over a grid × seeds.
+struct PrecisionDeltaReport {
+  double max_ber_delta = 0.0;
+  double max_snr_delta_db = 0.0;
+  double max_range_error_delta_m = 0.0;
+  double max_detection_rate_delta = 0.0;
+  std::size_t points_compared = 0;
+  std::size_t seeds_compared = 0;
+
+  bool within(const PrecisionToleranceBounds& bounds) const;
+  /// One-line human summary ("ber Δ 3.1e-4 snr Δ 0.021 dB ..." ) for test
+  /// failure messages and bench JSON.
+  std::string summary() const;
+};
+
+/// Run the kUplink sweep grid (range_sweep_grid over @p ranges_m) under
+/// double_strict and float32_fast for every master seed in @p seeds, and
+/// fold the per-point metric deltas into the report. Both runs share a
+/// master seed per iteration, so each grid point consumes an identical RNG
+/// stream in both tiers and the deltas measure numeric effects only.
+PrecisionDeltaReport compare_precision_tiers(const SystemConfig& base,
+                                             std::span<const double> ranges_m,
+                                             std::span<const std::uint64_t> seeds,
+                                             const SweepWorkload& workload);
+
+}  // namespace bis::core

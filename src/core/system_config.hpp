@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 
+#include "dsp/precision.hpp"
 #include "obs/sink.hpp"
 #include "phy/packet.hpp"
 #include "phy/slope_alphabet.hpp"
@@ -117,6 +118,17 @@ struct SystemConfig {
                                      ///< LinkSimulator is built. All targets
                                      ///< produce bit-identical frame output
                                      ///< (see dsp/kernels/kernels.hpp).
+
+  dsp::Precision precision = dsp::Precision::kDoubleStrict;
+                                     ///< Numeric tier for the per-frame inner
+                                     ///< loop (synthesis → window → range
+                                     ///< FFT and the tag downlink stream).
+                                     ///< kDoubleStrict (default) is the
+                                     ///< normative bit-identical path;
+                                     ///< kFloat32Fast runs float32+FMA
+                                     ///< kernels and is validated by
+                                     ///< tolerance, not parity (DESIGN.md
+                                     ///< §16). Per-run, not process-wide.
 
   /// Derive the CSSK alphabet for this radar+tag combination. Clamps the
   /// maximum beat frequency below the tag ADC Nyquist bound by raising the

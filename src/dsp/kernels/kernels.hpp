@@ -34,14 +34,26 @@
 /// scalar code the reference uses. dsp::RVec / dsp::CVec allocate 64-byte
 /// aligned storage, so in practice full-vector loads on those buffers are
 /// aligned and only sub-spans pay the (tiny, modern-CPU) unaligned cost.
+///
+/// ## float32_fast tier (non-normative)
+///
+/// Every kernel also has a float overload backed by a second dispatch table
+/// (8-lane blocks; the AVX2 backend compiles with -mfma and fuses a·b+c).
+/// The float tier follows the same target selection (set_target switches
+/// both tables together) but is explicitly OUTSIDE the bit-identity
+/// contract: different targets round differently (FMA, vectorized log), and
+/// correctness is asserted by tolerance tests against the double tier, not
+/// by parity. See dsp/precision.hpp and DESIGN.md §16.
 
 #include <complex>
+#include <cstddef>
 #include <span>
 #include <string_view>
 
 namespace bis::dsp::kernels {
 
 using cdouble = std::complex<double>;
+using cfloat = std::complex<float>;
 
 // ---------------------------------------------------------------------------
 // Dispatch control
@@ -133,7 +145,56 @@ double kdot(std::span<const double> x, std::span<const double> y);
 /// frequency's arithmetic is lane-independent, so results are bit-identical
 /// to running the scalar recurrence per frequency. Callers apply the final
 /// complex correction. s1/s2/coeffs must have equal lengths.
+///
+/// Above kGoertzelScalarFallbackSamples samples the dispatcher routes to the
+/// scalar backend regardless of the active target: the broadcast-per-sample
+/// latency chain makes the lane-blocked form *slower* than scalar on long
+/// inputs (BENCH_simd.json measured 0.93x at 18944 samples), and because the
+/// SIMD form is bit-identical to scalar the reroute is exactly
+/// output-preserving.
 void kgoertzel(std::span<const double> x, std::span<const double> coeffs,
                std::span<double> s1, std::span<double> s2);
+
+/// Sample-count crossover for the kgoertzel scalar fallback. 256 keeps the
+/// measured-fast short-window shapes (tag demod windows, tens of samples) on
+/// the SIMD path and reroutes the measured-slow long-window shapes.
+inline constexpr std::size_t kGoertzelScalarFallbackSamples = 256;
+
+/// True when kgoertzel(x, ...) with x.size() == n_samples routes to the
+/// scalar backend (exposed so benches/tests can prove the fallback engages).
+bool kgoertzel_prefers_scalar(std::size_t n_samples);
+
+// ---------------------------------------------------------------------------
+// float32_fast tier overloads (non-normative; tolerance-validated)
+
+void kmag(std::span<const cfloat> x, std::span<float> out);
+void knorm(std::span<const cfloat> x, std::span<float> out);
+void kmag_db(std::span<const cfloat> x, std::span<float> out, float floor_db);
+void kapply_window(std::span<const float> x, std::span<const float> w,
+                   std::span<float> out);
+void kapply_window(std::span<const cfloat> x, std::span<const float> w,
+                   std::span<cfloat> out);
+void kcmul(std::span<const cfloat> a, std::span<const cfloat> b,
+           std::span<cfloat> out);
+void kaxpy(float a, std::span<const float> x, std::span<float> y);
+void kscale_add(std::span<float> y, float scale, float a,
+                std::span<const float> x);
+void kscale(std::span<float> y, float s);
+void kscale(std::span<cfloat> y, float s);
+float ksum_sq(std::span<const float> x);
+float ksum_sq(std::span<const cfloat> x);
+float kdot(std::span<const float> x, std::span<const float> y);
+void kgoertzel(std::span<const float> x, std::span<const float> coeffs,
+               std::span<float> s1, std::span<float> s2);
+
+namespace detail {
+
+/// Test hook: route the float32 tier through a deliberately broken table
+/// (apply_window_c zeroes its output) so the tolerance harness can prove its
+/// delta gate actually fails on a bad kernel (mirrors bench_compare
+/// --self-test). Never enable outside tests.
+void set_f32_test_poison(bool enabled);
+
+}  // namespace detail
 
 }  // namespace bis::dsp::kernels

@@ -15,6 +15,10 @@ namespace bis::dsp::kernels {
 namespace {
 
 struct Avx2Ops {
+  using Real = double;
+  static constexpr std::size_t kLanes = 4;
+  static constexpr bool kVecMagDb = false;
+
   using V = __m256d;
 
   static V load(const double* p) { return _mm256_loadu_pd(p); }
@@ -25,7 +29,7 @@ struct Avx2Ops {
   static V mul(V a, V b) { return _mm256_mul_pd(a, b); }
   static V vsqrt(V a) { return _mm256_sqrt_pd(a); }
 
-  static double reduce4(V a) {
+  static double reduce(V a) {
     // (l0 + l1) + (l2 + l3) — the documented lane-blocked combine order.
     const __m128d lo = _mm256_castpd256_pd128(a);       // l0, l1
     const __m128d hi = _mm256_extractf128_pd(a, 1);     // l2, l3
@@ -33,6 +37,10 @@ struct Avx2Ops {
     const __m128d s23 = _mm_add_sd(hi, _mm_unpackhi_pd(hi, hi));
     return _mm_cvtsd_f64(_mm_add_sd(s01, s23));
   }
+
+  // Normative tier: unfused a·b + c. This TU compiles with -ffp-contract=off
+  // and no -mfma, so _mm256_add_pd(_mm256_mul_pd(...)) cannot be contracted.
+  static V fmadd(V a, V b, V c) { return add(mul(a, b), c); }
 
   static V load_norm(const cdouble* p) {
     const double* d = reinterpret_cast<const double*>(p);
@@ -60,7 +68,7 @@ struct Avx2Ops {
     return _mm256_addsub_pd(t1, t2);
   }
 
-  static void cmul4(const cdouble* a, const cdouble* b, cdouble* out) {
+  static void cmul_block(const cdouble* a, const cdouble* b, cdouble* out) {
     const double* da = reinterpret_cast<const double*>(a);
     const double* db = reinterpret_cast<const double*>(b);
     double* dout = reinterpret_cast<double*>(out);
@@ -69,7 +77,7 @@ struct Avx2Ops {
                      cmul2(_mm256_loadu_pd(da + 4), _mm256_loadu_pd(db + 4)));
   }
 
-  static void cwin4(const cdouble* x, const double* w, cdouble* out) {
+  static void cwin_block(const cdouble* x, const double* w, cdouble* out) {
     const double* dx = reinterpret_cast<const double*>(x);
     double* dout = reinterpret_cast<double*>(out);
     const __m128d w01 = _mm_loadu_pd(w);

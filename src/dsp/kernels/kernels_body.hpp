@@ -2,26 +2,43 @@
 
 /// @file kernels_body.hpp
 /// Generic kernel bodies, templated on a per-target `Ops` policy that models
-/// one 4-lane block of doubles (AVX2: one 256-bit register, SSE2: two
-/// 128-bit registers, scalar: four doubles). Writing each kernel once over
-/// this abstraction is what makes the bit-identity contract hold by
-/// construction: every element goes through the same IEEE operations in the
-/// same order on every target, and the <4-element tails below are the same
-/// scalar code in every backend (all kernel TUs compile with
-/// -ffp-contract=off, so the compiler cannot fuse a·b+c differently per TU).
+/// one lane block of `Ops::Real` elements. The double tier uses 4-lane
+/// blocks (AVX2: one 256-bit register, SSE2: two 128-bit registers, scalar:
+/// four doubles); the float32_fast tier uses 8-lane blocks (AVX2: one
+/// 256-bit float register, SSE2: two 128-bit registers, scalar: eight
+/// floats). Writing each kernel once over this abstraction is what makes
+/// the double tier's bit-identity contract hold by construction: every
+/// element goes through the same IEEE operations in the same order on every
+/// target, and the sub-block tails below are the same scalar code in every
+/// backend (all double-tier TUs compile with -ffp-contract=off, so the
+/// compiler cannot fuse a·b+c differently per TU). The float32 tier reuses
+/// the same bodies but is explicitly non-normative: its AVX2 backend maps
+/// `fmadd` to a real fused multiply-add and vectorizes the dB log, so it is
+/// validated by tolerance, not parity.
 ///
-/// Required Ops interface (V is the 4-lane block type):
-///   V    load(const double* p)            unaligned load of 4 doubles
-///   void store(double* p, V)              unaligned store of 4 doubles
-///   V    bcast(double v)
+/// Required Ops interface (V is the block type, L = Ops::kLanes):
+///   Real                                  element type (double or float)
+///   kLanes                                lanes per block (4 or 8)
+///   V    load(const Real* p)              unaligned load of L elements
+///   void store(Real* p, V)                unaligned store of L elements
+///   V    bcast(Real v)
 ///   V    add/sub/mul(V, V), vsqrt(V)
-///   double reduce4(V)                     (l0 + l1) + (l2 + l3)
-///   V    load_norm(const cdouble* p)      [re·re + im·im] for 4 complex,
+///   V    fmadd(V a, V b, V c)             a·b + c. Double backends MUST
+///                                         implement this as add(mul(a, b), c)
+///                                         (no fusion); float32 AVX2 fuses.
+///   Real reduce(V)                        (l0+l1) + (l2+l3) for 4 lanes;
+///                                         ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))
+///                                         for 8 lanes
+///   V    load_norm(const Cplx* p)         [re·re + im·im] for L complex,
 ///                                         in element order
-///   void cmul4(const cdouble* a, const cdouble* b, cdouble* out)
-///                                         (ar·br − ai·bi, ar·bi + ai·br) ×4
-///   void cwin4(const cdouble* x, const double* w, cdouble* out)
-///                                         (re·w, im·w) ×4
+///   void cmul_block(const Cplx* a, const Cplx* b, Cplx* out)
+///                                         (ar·br − ai·bi, ar·bi + ai·br) ×L
+///   void cwin_block(const Cplx* x, const Real* w, Cplx* out)
+///                                         (re·w, im·w) ×L
+///   kVecMagDb                             true when the backend supplies a
+///                                         vectorized dB conversion:
+///   V    db_from_norm(V n, V floor)       max(10·log10(n), floor) per lane
+///                                         (float32 backends only)
 
 #include <algorithm>
 #include <cmath>
@@ -33,172 +50,204 @@
 namespace bis::dsp::kernels::body {
 
 template <typename Ops>
-void mag(std::span<const cdouble> x, std::span<double> out) {
+using RealOf = typename Ops::Real;
+template <typename Ops>
+using CplxOf = std::complex<typename Ops::Real>;
+
+/// 10/ln(10): kmag_db hoists the dB scale and uses one natural log per
+/// element instead of 10·log10(x) (same function count, but libm's log is
+/// the cheaper entry point and the constant fold is explicit).
+inline constexpr double kTenOverLn10 = 4.342944819032518;
+
+template <typename Ops>
+void mag(std::span<const CplxOf<Ops>> x, std::span<RealOf<Ops>> out) {
   const std::size_t n = x.size();
-  const std::size_t n4 = n - n % 4;
-  for (std::size_t i = 0; i < n4; i += 4)
+  const std::size_t nL = n - n % Ops::kLanes;
+  for (std::size_t i = 0; i < nL; i += Ops::kLanes)
     Ops::store(out.data() + i, Ops::vsqrt(Ops::load_norm(x.data() + i)));
-  for (std::size_t i = n4; i < n; ++i) {
-    const double re = x[i].real(), im = x[i].imag();
+  for (std::size_t i = nL; i < n; ++i) {
+    const RealOf<Ops> re = x[i].real(), im = x[i].imag();
     out[i] = std::sqrt(re * re + im * im);
   }
 }
 
 template <typename Ops>
-void norm(std::span<const cdouble> x, std::span<double> out) {
+void norm(std::span<const CplxOf<Ops>> x, std::span<RealOf<Ops>> out) {
   const std::size_t n = x.size();
-  const std::size_t n4 = n - n % 4;
-  for (std::size_t i = 0; i < n4; i += 4)
+  const std::size_t nL = n - n % Ops::kLanes;
+  for (std::size_t i = 0; i < nL; i += Ops::kLanes)
     Ops::store(out.data() + i, Ops::load_norm(x.data() + i));
-  for (std::size_t i = n4; i < n; ++i) {
-    const double re = x[i].real(), im = x[i].imag();
+  for (std::size_t i = nL; i < n; ++i) {
+    const RealOf<Ops> re = x[i].real(), im = x[i].imag();
     out[i] = re * re + im * im;
   }
 }
 
 template <typename Ops>
-void mag_db(std::span<const cdouble> x, std::span<double> out, double floor_db) {
-  // Vectorized |x|², then a shared scalar log pass: libm log10 has no vector
-  // counterpart here, and routing every target through the identical scalar
-  // tail keeps the output bit-identical by construction.
+void mag_db(std::span<const CplxOf<Ops>> x, std::span<RealOf<Ops>> out,
+            RealOf<Ops> floor_db) {
+  using Real = RealOf<Ops>;
+  // Vectorized |x|² first. The log pass depends on the tier: the double
+  // backends share one scalar loop (libm log has no vector counterpart
+  // here, and identical scalar code on every target keeps the output
+  // bit-identical by construction); the float32 backends convert in-register
+  // with a log2-based approximation (db_from_norm), leaving only the
+  // sub-block tail on the scalar path.
   norm<Ops>(x, out);
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = out[i] > 0.0 ? std::max(10.0 * std::log10(out[i]), floor_db)
-                          : floor_db;
+  const std::size_t n = out.size();
+  const Real scale = Real(kTenOverLn10);
+  std::size_t tail_start = 0;
+  if constexpr (Ops::kVecMagDb) {
+    const std::size_t nL = n - n % Ops::kLanes;
+    const auto vfloor = Ops::bcast(floor_db);
+    for (std::size_t i = 0; i < nL; i += Ops::kLanes)
+      Ops::store(out.data() + i,
+                 Ops::db_from_norm(Ops::load(out.data() + i), vfloor));
+    tail_start = nL;
+  }
+  for (std::size_t i = tail_start; i < n; ++i)
+    out[i] = out[i] > Real(0) ? std::max(scale * std::log(out[i]), floor_db)
+                              : floor_db;
 }
 
 template <typename Ops>
-void apply_window_r(std::span<const double> x, std::span<const double> w,
-                    std::span<double> out) {
+void apply_window_r(std::span<const RealOf<Ops>> x,
+                    std::span<const RealOf<Ops>> w, std::span<RealOf<Ops>> out) {
   const std::size_t n = x.size();
-  const std::size_t n4 = n - n % 4;
-  for (std::size_t i = 0; i < n4; i += 4)
+  const std::size_t nL = n - n % Ops::kLanes;
+  for (std::size_t i = 0; i < nL; i += Ops::kLanes)
     Ops::store(out.data() + i,
                Ops::mul(Ops::load(x.data() + i), Ops::load(w.data() + i)));
-  for (std::size_t i = n4; i < n; ++i) out[i] = x[i] * w[i];
+  for (std::size_t i = nL; i < n; ++i) out[i] = x[i] * w[i];
 }
 
 template <typename Ops>
-void apply_window_c(std::span<const cdouble> x, std::span<const double> w,
-                    std::span<cdouble> out) {
+void apply_window_c(std::span<const CplxOf<Ops>> x,
+                    std::span<const RealOf<Ops>> w, std::span<CplxOf<Ops>> out) {
   const std::size_t n = x.size();
-  const std::size_t n4 = n - n % 4;
-  for (std::size_t i = 0; i < n4; i += 4)
-    Ops::cwin4(x.data() + i, w.data() + i, out.data() + i);
-  for (std::size_t i = n4; i < n; ++i)
-    out[i] = cdouble(x[i].real() * w[i], x[i].imag() * w[i]);
+  const std::size_t nL = n - n % Ops::kLanes;
+  for (std::size_t i = 0; i < nL; i += Ops::kLanes)
+    Ops::cwin_block(x.data() + i, w.data() + i, out.data() + i);
+  for (std::size_t i = nL; i < n; ++i)
+    out[i] = CplxOf<Ops>(x[i].real() * w[i], x[i].imag() * w[i]);
 }
 
 template <typename Ops>
-void cmul(std::span<const cdouble> a, std::span<const cdouble> b,
-          std::span<cdouble> out) {
+void cmul(std::span<const CplxOf<Ops>> a, std::span<const CplxOf<Ops>> b,
+          std::span<CplxOf<Ops>> out) {
+  using Real = RealOf<Ops>;
   const std::size_t n = a.size();
-  const std::size_t n4 = n - n % 4;
+  const std::size_t nL = n - n % Ops::kLanes;
   // Two independent blocks per iteration: complex multiply is bound by the
   // shuffle port, so overlapping two dependence-free block computations lets
   // the multiplies of one block hide under the shuffles of the other. The
   // per-element operations are untouched, so bit-identity is unaffected.
-  const std::size_t n8 = n4 - n4 % 8;
-  for (std::size_t i = 0; i < n8; i += 8) {
-    Ops::cmul4(a.data() + i, b.data() + i, out.data() + i);
-    Ops::cmul4(a.data() + i + 4, b.data() + i + 4, out.data() + i + 4);
+  const std::size_t n2L = nL - nL % (2 * Ops::kLanes);
+  for (std::size_t i = 0; i < n2L; i += 2 * Ops::kLanes) {
+    Ops::cmul_block(a.data() + i, b.data() + i, out.data() + i);
+    Ops::cmul_block(a.data() + i + Ops::kLanes, b.data() + i + Ops::kLanes,
+                    out.data() + i + Ops::kLanes);
   }
-  for (std::size_t i = n8; i < n4; i += 4)
-    Ops::cmul4(a.data() + i, b.data() + i, out.data() + i);
-  for (std::size_t i = n4; i < n; ++i) {
-    const double ar = a[i].real(), ai = a[i].imag();
-    const double br = b[i].real(), bi = b[i].imag();
-    out[i] = cdouble(ar * br - ai * bi, ar * bi + ai * br);
+  for (std::size_t i = n2L; i < nL; i += Ops::kLanes)
+    Ops::cmul_block(a.data() + i, b.data() + i, out.data() + i);
+  for (std::size_t i = nL; i < n; ++i) {
+    const Real ar = a[i].real(), ai = a[i].imag();
+    const Real br = b[i].real(), bi = b[i].imag();
+    out[i] = CplxOf<Ops>(ar * br - ai * bi, ar * bi + ai * br);
   }
 }
 
 template <typename Ops>
-void axpy(double a, std::span<const double> x, std::span<double> y) {
+void axpy(RealOf<Ops> a, std::span<const RealOf<Ops>> x,
+          std::span<RealOf<Ops>> y) {
   const std::size_t n = x.size();
-  const std::size_t n4 = n - n % 4;
+  const std::size_t nL = n - n % Ops::kLanes;
   const auto va = Ops::bcast(a);
-  for (std::size_t i = 0; i < n4; i += 4)
-    Ops::store(y.data() + i, Ops::add(Ops::load(y.data() + i),
-                                      Ops::mul(va, Ops::load(x.data() + i))));
-  for (std::size_t i = n4; i < n; ++i) y[i] = y[i] + a * x[i];
+  for (std::size_t i = 0; i < nL; i += Ops::kLanes)
+    Ops::store(y.data() + i,
+               Ops::fmadd(va, Ops::load(x.data() + i), Ops::load(y.data() + i)));
+  for (std::size_t i = nL; i < n; ++i) y[i] = y[i] + a * x[i];
 }
 
 template <typename Ops>
-void scale_add(std::span<double> y, double scale, double a,
-               std::span<const double> x) {
+void scale_add(std::span<RealOf<Ops>> y, RealOf<Ops> scale, RealOf<Ops> a,
+               std::span<const RealOf<Ops>> x) {
   const std::size_t n = y.size();
-  const std::size_t n4 = n - n % 4;
+  const std::size_t nL = n - n % Ops::kLanes;
   const auto vs = Ops::bcast(scale);
   const auto va = Ops::bcast(a);
-  for (std::size_t i = 0; i < n4; i += 4)
+  for (std::size_t i = 0; i < nL; i += Ops::kLanes)
     Ops::store(y.data() + i,
-               Ops::mul(vs, Ops::add(Ops::load(y.data() + i),
-                                     Ops::mul(va, Ops::load(x.data() + i)))));
-  for (std::size_t i = n4; i < n; ++i) y[i] = scale * (y[i] + a * x[i]);
+               Ops::mul(vs, Ops::fmadd(va, Ops::load(x.data() + i),
+                                       Ops::load(y.data() + i))));
+  for (std::size_t i = nL; i < n; ++i) y[i] = scale * (y[i] + a * x[i]);
 }
 
 template <typename Ops>
-void scale_r(std::span<double> y, double s) {
+void scale_r(std::span<RealOf<Ops>> y, RealOf<Ops> s) {
   const std::size_t n = y.size();
-  const std::size_t n4 = n - n % 4;
+  const std::size_t nL = n - n % Ops::kLanes;
   const auto vs = Ops::bcast(s);
-  for (std::size_t i = 0; i < n4; i += 4)
+  for (std::size_t i = 0; i < nL; i += Ops::kLanes)
     Ops::store(y.data() + i, Ops::mul(Ops::load(y.data() + i), vs));
-  for (std::size_t i = n4; i < n; ++i) y[i] = y[i] * s;
+  for (std::size_t i = nL; i < n; ++i) y[i] = y[i] * s;
 }
 
 template <typename Ops>
-double sum_sq(std::span<const double> x) {
+RealOf<Ops> sum_sq(std::span<const RealOf<Ops>> x) {
+  using Real = RealOf<Ops>;
   const std::size_t n = x.size();
-  const std::size_t n4 = n - n % 4;
-  auto acc = Ops::bcast(0.0);
-  for (std::size_t i = 0; i < n4; i += 4) {
+  const std::size_t nL = n - n % Ops::kLanes;
+  auto acc = Ops::bcast(Real(0));
+  for (std::size_t i = 0; i < nL; i += Ops::kLanes) {
     const auto v = Ops::load(x.data() + i);
-    acc = Ops::add(acc, Ops::mul(v, v));
+    acc = Ops::fmadd(v, v, acc);
   }
-  double total = Ops::reduce4(acc);
-  for (std::size_t i = n4; i < n; ++i) total += x[i] * x[i];
+  Real total = Ops::reduce(acc);
+  for (std::size_t i = nL; i < n; ++i) total += x[i] * x[i];
   return total;
 }
 
 template <typename Ops>
-double dot(std::span<const double> x, std::span<const double> y) {
+RealOf<Ops> dot(std::span<const RealOf<Ops>> x, std::span<const RealOf<Ops>> y) {
+  using Real = RealOf<Ops>;
   const std::size_t n = x.size();
-  const std::size_t n4 = n - n % 4;
-  auto acc = Ops::bcast(0.0);
-  for (std::size_t i = 0; i < n4; i += 4)
-    acc = Ops::add(acc, Ops::mul(Ops::load(x.data() + i), Ops::load(y.data() + i)));
-  double total = Ops::reduce4(acc);
-  for (std::size_t i = n4; i < n; ++i) total += x[i] * y[i];
+  const std::size_t nL = n - n % Ops::kLanes;
+  auto acc = Ops::bcast(Real(0));
+  for (std::size_t i = 0; i < nL; i += Ops::kLanes)
+    acc = Ops::fmadd(Ops::load(x.data() + i), Ops::load(y.data() + i), acc);
+  Real total = Ops::reduce(acc);
+  for (std::size_t i = nL; i < n; ++i) total += x[i] * y[i];
   return total;
 }
 
 template <typename Ops>
-void goertzel(std::span<const double> x, std::span<const double> coeffs,
-              std::span<double> s1, std::span<double> s2) {
+void goertzel(std::span<const RealOf<Ops>> x, std::span<const RealOf<Ops>> coeffs,
+              std::span<RealOf<Ops>> s1, std::span<RealOf<Ops>> s2) {
+  using Real = RealOf<Ops>;
   const std::size_t nf = coeffs.size();
-  const std::size_t nf4 = nf - nf % 4;
-  // Four frequencies per lane block: the recurrence is sequential in samples
-  // but embarrassingly parallel across bins. Lanes never interact, so each
-  // bin's state matches the one-frequency scalar recurrence bit-for-bit.
-  for (std::size_t f = 0; f < nf4; f += 4) {
+  const std::size_t nfL = nf - nf % Ops::kLanes;
+  // One frequency per lane: the recurrence is sequential in samples but
+  // embarrassingly parallel across bins. Lanes never interact, so each
+  // bin's state matches the one-frequency scalar recurrence bit-for-bit
+  // (double tier; the float32 AVX2 backend fuses c·s1 + x instead).
+  for (std::size_t f = 0; f < nfL; f += Ops::kLanes) {
     const auto c = Ops::load(coeffs.data() + f);
-    auto vs1 = Ops::bcast(0.0);
-    auto vs2 = Ops::bcast(0.0);
-    for (const double sample : x) {
-      const auto s =
-          Ops::sub(Ops::add(Ops::bcast(sample), Ops::mul(c, vs1)), vs2);
+    auto vs1 = Ops::bcast(Real(0));
+    auto vs2 = Ops::bcast(Real(0));
+    for (const Real sample : x) {
+      const auto s = Ops::sub(Ops::fmadd(c, vs1, Ops::bcast(sample)), vs2);
       vs2 = vs1;
       vs1 = s;
     }
     Ops::store(s1.data() + f, vs1);
     Ops::store(s2.data() + f, vs2);
   }
-  for (std::size_t f = nf4; f < nf; ++f) {
-    const double c = coeffs[f];
-    double p1 = 0.0, p2 = 0.0;
-    for (const double sample : x) {
-      const double s = (sample + c * p1) - p2;
+  for (std::size_t f = nfL; f < nf; ++f) {
+    const Real c = coeffs[f];
+    Real p1 = 0, p2 = 0;
+    for (const Real sample : x) {
+      const Real s = (sample + c * p1) - p2;
       p2 = p1;
       p1 = s;
     }
@@ -209,8 +258,8 @@ void goertzel(std::span<const double> x, std::span<const double> coeffs,
 
 /// Assemble the dispatch table for one backend.
 template <typename Ops>
-detail::KernelTable make_table() {
-  detail::KernelTable t;
+detail::KernelTableT<RealOf<Ops>> make_table() {
+  detail::KernelTableT<RealOf<Ops>> t;
   t.mag = &mag<Ops>;
   t.norm = &norm<Ops>;
   t.mag_db = &mag_db<Ops>;

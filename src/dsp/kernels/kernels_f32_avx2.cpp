@@ -1,0 +1,133 @@
+/// AVX2+FMA float32 kernel backend: the 8-lane block is one 256-bit float
+/// register. This is the headline backend of the non-normative float32_fast
+/// tier — unlike the double AVX2 TU it compiles with -mfma and uses real
+/// fused multiply-adds (fmadd, fmaddsub in the complex product), doubling
+/// lane count AND halving the multiply/add chain relative to the normative
+/// 4-lane no-FMA double tier. Outputs are therefore NOT bit-comparable to
+/// any other backend; the tier is validated by tolerance (see
+/// core/precision_validation.hpp).
+
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__AVX2__) && \
+    defined(__FMA__)
+
+#include <immintrin.h>
+
+#include "dsp/kernels/kernels_body.hpp"
+
+namespace bis::dsp::kernels {
+namespace {
+
+struct Avx2F32Ops {
+  using Real = float;
+  static constexpr std::size_t kLanes = 8;
+  static constexpr bool kVecMagDb = true;
+
+  using V = __m256;
+
+  static V load(const float* p) { return _mm256_loadu_ps(p); }
+  static void store(float* p, V v) { _mm256_storeu_ps(p, v); }
+  static V bcast(float x) { return _mm256_set1_ps(x); }
+  static V add(V a, V b) { return _mm256_add_ps(a, b); }
+  static V sub(V a, V b) { return _mm256_sub_ps(a, b); }
+  static V mul(V a, V b) { return _mm256_mul_ps(a, b); }
+  static V vsqrt(V a) { return _mm256_sqrt_ps(a); }
+  static V fmadd(V a, V b, V c) { return _mm256_fmadd_ps(a, b, c); }
+
+  static float reduce(V a) {
+    // ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))
+    const __m128 lo = _mm256_castps256_ps128(a);
+    const __m128 hi = _mm256_extractf128_ps(a, 1);
+    const auto hsum4 = [](__m128 v) {
+      const __m128 sh = _mm_shuffle_ps(v, v, _MM_SHUFFLE(2, 3, 0, 1));
+      const __m128 pair = _mm_add_ps(v, sh);
+      return _mm_cvtss_f32(_mm_add_ss(pair, _mm_movehl_ps(pair, pair)));
+    };
+    return hsum4(lo) + hsum4(hi);
+  }
+
+  static V load_norm(const cfloat* p) {
+    const float* f = reinterpret_cast<const float*>(p);
+    const __m256 a = _mm256_loadu_ps(f);      // r0 i0 r1 i1 | r2 i2 r3 i3
+    const __m256 b = _mm256_loadu_ps(f + 8);  // r4 i4 r5 i5 | r6 i6 r7 i7
+    const __m256 sa = _mm256_mul_ps(a, a);
+    const __m256 sb = _mm256_mul_ps(b, b);
+    // Per-128-lane gather of the re²/im² parts, add, then un-permute the
+    // lane-crossed order [n0 n1 n4 n5 | n2 n3 n6 n7] back to element order.
+    const __m256 re = _mm256_shuffle_ps(sa, sb, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m256 im = _mm256_shuffle_ps(sa, sb, _MM_SHUFFLE(3, 1, 3, 1));
+    const __m256 n = _mm256_add_ps(re, im);
+    return _mm256_permutevar8x32_ps(n, _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7));
+  }
+
+  /// Four complex products per register: a = [ar0,ai0,...,ar3,ai3].
+  /// fmaddsub fuses the (ar·br ∓ t) combine: even lanes subtract (real
+  /// parts), odd lanes add (imaginary parts).
+  static __m256 cmul4(__m256 a, __m256 b) {
+    const __m256 br = _mm256_moveldup_ps(b);           // br per pair
+    const __m256 bi = _mm256_movehdup_ps(b);           // bi per pair
+    const __m256 a_swap = _mm256_permute_ps(a, 0xB1);  // ai, ar per pair
+    return _mm256_fmaddsub_ps(a, br, _mm256_mul_ps(a_swap, bi));
+  }
+  static void cmul_block(const cfloat* a, const cfloat* b, cfloat* out) {
+    const float* fa = reinterpret_cast<const float*>(a);
+    const float* fb = reinterpret_cast<const float*>(b);
+    float* fo = reinterpret_cast<float*>(out);
+    _mm256_storeu_ps(fo, cmul4(_mm256_loadu_ps(fa), _mm256_loadu_ps(fb)));
+    _mm256_storeu_ps(fo + 8,
+                     cmul4(_mm256_loadu_ps(fa + 8), _mm256_loadu_ps(fb + 8)));
+  }
+
+  static void cwin_block(const cfloat* x, const float* w, cfloat* out) {
+    const float* fx = reinterpret_cast<const float*>(x);
+    float* fo = reinterpret_cast<float*>(out);
+    const __m256 ww = _mm256_loadu_ps(w);
+    // Duplicate each window sample across its complex pair.
+    const __m256 d0 = _mm256_permutevar8x32_ps(
+        ww, _mm256_setr_epi32(0, 0, 1, 1, 2, 2, 3, 3));
+    const __m256 d1 = _mm256_permutevar8x32_ps(
+        ww, _mm256_setr_epi32(4, 4, 5, 5, 6, 6, 7, 7));
+    _mm256_storeu_ps(fo, _mm256_mul_ps(_mm256_loadu_ps(fx), d0));
+    _mm256_storeu_ps(fo + 8, _mm256_mul_ps(_mm256_loadu_ps(fx + 8), d1));
+  }
+
+  /// 10·log10(x) per lane for x ≥ 0 finite, same algorithm as the other f32
+  /// backends (exponent/mantissa split + atanh series), with the polynomial
+  /// steps fused. x = 0 → ≈ −382 dB → floored by the caller's max.
+  static __m256 db8(__m256 x) {
+    const __m256i bits = _mm256_castps_si256(x);
+    const __m256 e = _mm256_cvtepi32_ps(
+        _mm256_sub_epi32(_mm256_srli_epi32(bits, 23), _mm256_set1_epi32(127)));
+    const __m256 m = _mm256_castsi256_ps(
+        _mm256_or_si256(_mm256_and_si256(bits, _mm256_set1_epi32(0x007FFFFF)),
+                        _mm256_set1_epi32(0x3F800000)));
+    const __m256 one = _mm256_set1_ps(1.0f);
+    const __m256 s =
+        _mm256_div_ps(_mm256_sub_ps(m, one), _mm256_add_ps(m, one));
+    const __m256 s2 = _mm256_mul_ps(s, s);
+    __m256 p = _mm256_set1_ps(0.14285715f);
+    p = _mm256_fmadd_ps(p, s2, _mm256_set1_ps(0.2f));
+    p = _mm256_fmadd_ps(p, s2, _mm256_set1_ps(0.33333333f));
+    p = _mm256_fmadd_ps(p, s2, one);
+    const __m256 ln_m = _mm256_mul_ps(_mm256_add_ps(s, s), p);
+    const __m256 ln_x =
+        _mm256_fmadd_ps(e, _mm256_set1_ps(0.69314718f), ln_m);
+    return _mm256_mul_ps(ln_x, _mm256_set1_ps(4.3429448f));
+  }
+  static V db_from_norm(V n, V floor) {
+    return _mm256_max_ps(db8(n), floor);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+const KernelTableF& avx2_table_f32() {
+  static const KernelTableF table = body::make_table<Avx2F32Ops>();
+  return table;
+}
+
+}  // namespace detail
+}  // namespace bis::dsp::kernels
+
+#endif  // x86-64 && __AVX2__ && __FMA__

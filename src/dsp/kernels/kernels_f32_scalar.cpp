@@ -1,0 +1,123 @@
+/// Scalar float32 kernel backend — the portability fallback for the
+/// float32_fast tier. The 8-lane block is eight plain floats; unlike the
+/// normative double scalar TU this one is compiled with the default
+/// optimization flags (the compiler may auto-vectorize it), because the
+/// float32 tier is validated by tolerance, not bit parity. The log10
+/// approximation matches the algorithm the SIMD float32 backends use
+/// in-register (exponent/mantissa split + atanh series), so all three f32
+/// backends agree to within a few float ulps.
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "dsp/kernels/kernels_body.hpp"
+
+namespace bis::dsp::kernels {
+namespace {
+
+struct ScalarF32Ops {
+  using Real = float;
+  static constexpr std::size_t kLanes = 8;
+  static constexpr bool kVecMagDb = true;
+
+  struct V {
+    float l[8];
+  };
+
+  static V load(const float* p) {
+    V v;
+    for (int i = 0; i < 8; ++i) v.l[i] = p[i];
+    return v;
+  }
+  static void store(float* p, V v) {
+    for (int i = 0; i < 8; ++i) p[i] = v.l[i];
+  }
+  static V bcast(float x) {
+    V v;
+    for (int i = 0; i < 8; ++i) v.l[i] = x;
+    return v;
+  }
+  static V add(V a, V b) {
+    V v;
+    for (int i = 0; i < 8; ++i) v.l[i] = a.l[i] + b.l[i];
+    return v;
+  }
+  static V sub(V a, V b) {
+    V v;
+    for (int i = 0; i < 8; ++i) v.l[i] = a.l[i] - b.l[i];
+    return v;
+  }
+  static V mul(V a, V b) {
+    V v;
+    for (int i = 0; i < 8; ++i) v.l[i] = a.l[i] * b.l[i];
+    return v;
+  }
+  static V vsqrt(V a) {
+    V v;
+    for (int i = 0; i < 8; ++i) v.l[i] = std::sqrt(a.l[i]);
+    return v;
+  }
+  static V fmadd(V a, V b, V c) { return add(mul(a, b), c); }
+  static float reduce(V a) {
+    return ((a.l[0] + a.l[1]) + (a.l[2] + a.l[3])) +
+           ((a.l[4] + a.l[5]) + (a.l[6] + a.l[7]));
+  }
+
+  static V load_norm(const cfloat* p) {
+    V out;
+    for (int i = 0; i < 8; ++i) {
+      const float re = p[i].real(), im = p[i].imag();
+      out.l[i] = re * re + im * im;
+    }
+    return out;
+  }
+  static void cmul_block(const cfloat* a, const cfloat* b, cfloat* out) {
+    for (int i = 0; i < 8; ++i) {
+      const float ar = a[i].real(), ai = a[i].imag();
+      const float br = b[i].real(), bi = b[i].imag();
+      out[i] = cfloat(ar * br - ai * bi, ar * bi + ai * br);
+    }
+  }
+  static void cwin_block(const cfloat* x, const float* w, cfloat* out) {
+    for (int i = 0; i < 8; ++i)
+      out[i] = cfloat(x[i].real() * w[i], x[i].imag() * w[i]);
+  }
+
+  /// 10·log10(x) for x ≥ 0 finite (a squared magnitude), via the float bit
+  /// pattern: x = m·2^e with m ∈ [1,2), ln(m) = 2·atanh((m−1)/(m+1)) with a
+  /// 4-term odd series (|s| ≤ 1/3 ⇒ truncation error < 1e-5, ~4e-5 dB).
+  /// x = 0 decodes as e = −127, m = 1 → ≈ −382 dB, clamped by the floor.
+  static float db_from_norm1(float x) {
+    const std::uint32_t bits = std::bit_cast<std::uint32_t>(x);
+    const float e =
+        static_cast<float>(static_cast<std::int32_t>(bits >> 23) - 127);
+    const float m =
+        std::bit_cast<float>((bits & 0x007FFFFFu) | 0x3F800000u);
+    const float s = (m - 1.0f) / (m + 1.0f);
+    const float s2 = s * s;
+    const float p =
+        1.0f + s2 * (0.33333333f + s2 * (0.2f + s2 * 0.14285715f));
+    const float ln_m = (s + s) * p;
+    return (e * 0.69314718f + ln_m) * 4.3429448f;
+  }
+  static V db_from_norm(V n, V floor) {
+    V out;
+    for (int i = 0; i < 8; ++i)
+      out.l[i] = std::max(db_from_norm1(n.l[i]), floor.l[i]);
+    return out;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+const KernelTableF& scalar_table_f32() {
+  static const KernelTableF table = body::make_table<ScalarF32Ops>();
+  return table;
+}
+
+}  // namespace detail
+}  // namespace bis::dsp::kernels

@@ -12,6 +12,10 @@ namespace bis::dsp::kernels {
 namespace {
 
 struct ScalarOps {
+  using Real = double;
+  static constexpr std::size_t kLanes = 4;
+  static constexpr bool kVecMagDb = false;
+
   struct V {
     double l[4];
   };
@@ -37,7 +41,10 @@ struct ScalarOps {
     return {{std::sqrt(a.l[0]), std::sqrt(a.l[1]), std::sqrt(a.l[2]),
              std::sqrt(a.l[3])}};
   }
-  static double reduce4(V a) { return (a.l[0] + a.l[1]) + (a.l[2] + a.l[3]); }
+  static double reduce(V a) { return (a.l[0] + a.l[1]) + (a.l[2] + a.l[3]); }
+  // Normative tier: a·b + c with separate multiply and add (this TU compiles
+  // with -ffp-contract=off, so no fusion can sneak in).
+  static V fmadd(V a, V b, V c) { return add(mul(a, b), c); }
 
   static V load_norm(const cdouble* p) {
     V out;
@@ -47,14 +54,14 @@ struct ScalarOps {
     }
     return out;
   }
-  static void cmul4(const cdouble* a, const cdouble* b, cdouble* out) {
+  static void cmul_block(const cdouble* a, const cdouble* b, cdouble* out) {
     for (int i = 0; i < 4; ++i) {
       const double ar = a[i].real(), ai = a[i].imag();
       const double br = b[i].real(), bi = b[i].imag();
       out[i] = cdouble(ar * br - ai * bi, ar * bi + ai * br);
     }
   }
-  static void cwin4(const cdouble* x, const double* w, cdouble* out) {
+  static void cwin_block(const cdouble* x, const double* w, cdouble* out) {
     for (int i = 0; i < 4; ++i)
       out[i] = cdouble(x[i].real() * w[i], x[i].imag() * w[i]);
   }

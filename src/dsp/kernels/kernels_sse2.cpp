@@ -16,6 +16,10 @@ namespace bis::dsp::kernels {
 namespace {
 
 struct Sse2Ops {
+  using Real = double;
+  static constexpr std::size_t kLanes = 4;
+  static constexpr bool kVecMagDb = false;
+
   struct V {
     __m128d lo;  // lanes 0, 1
     __m128d hi;  // lanes 2, 3
@@ -40,12 +44,15 @@ struct Sse2Ops {
   }
   static V vsqrt(V a) { return {_mm_sqrt_pd(a.lo), _mm_sqrt_pd(a.hi)}; }
 
-  static double reduce4(V a) {
+  static double reduce(V a) {
     // (l0 + l1) + (l2 + l3) — the documented lane-blocked combine order.
     const __m128d s01 = _mm_add_sd(a.lo, _mm_unpackhi_pd(a.lo, a.lo));
     const __m128d s23 = _mm_add_sd(a.hi, _mm_unpackhi_pd(a.hi, a.hi));
     return _mm_cvtsd_f64(_mm_add_sd(s01, s23));
   }
+
+  // Normative tier: unfused a·b + c (SSE2 has no FMA instruction anyway).
+  static V fmadd(V a, V b, V c) { return add(mul(a, b), c); }
 
   /// |x|² for two complex numbers held in two registers: [re0,im0], [re1,im1]
   /// → [re0·re0+im0·im0, re1·re1+im1·im1].
@@ -77,7 +84,7 @@ struct Sse2Ops {
     return _mm_add_pd(t1, _mm_xor_pd(t2, signflip));
   }
 
-  static void cmul4(const cdouble* a, const cdouble* b, cdouble* out) {
+  static void cmul_block(const cdouble* a, const cdouble* b, cdouble* out) {
     const double* da = reinterpret_cast<const double*>(a);
     const double* db = reinterpret_cast<const double*>(b);
     double* dout = reinterpret_cast<double*>(out);
@@ -86,7 +93,7 @@ struct Sse2Ops {
                                         _mm_loadu_pd(db + 2 * i)));
   }
 
-  static void cwin4(const cdouble* x, const double* w, cdouble* out) {
+  static void cwin_block(const cdouble* x, const double* w, cdouble* out) {
     const double* dx = reinterpret_cast<const double*>(x);
     double* dout = reinterpret_cast<double*>(out);
     for (int i = 0; i < 4; ++i)

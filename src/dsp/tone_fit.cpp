@@ -84,6 +84,96 @@ std::vector<double> tone_glrt_scores(std::span<const double> x,
   return out;
 }
 
+void tone_glrt_scores_f32(std::span<const float> x, std::span<const double> freqs,
+                          double fs, std::span<const float> weights,
+                          std::span<double> out) {
+  BIS_CHECK(fs > 0.0);
+  BIS_CHECK(weights.empty() || weights.size() == x.size());
+  BIS_CHECK(out.size() == freqs.size());
+  const std::size_t n = x.size();
+  for (std::size_t j = 0; j < freqs.size(); ++j) {
+    const double freq = freqs[j];
+    BIS_CHECK(freq > 0.0 && freq < fs / 2.0);
+    if (n < 4) {
+      out[j] = 0.0;
+      continue;
+    }
+    const double omega = kTwoPi * freq / fs;
+    // Phasor recurrence: (c, s) = (cos(ωi), sin(ωi)) rotated by e^{jω} each
+    // sample. Drift over a demod window (≲ a few hundred samples) is
+    // ~n·eps, orders of magnitude below the float input rounding.
+    const double cw = std::cos(omega), sw = std::sin(omega);
+    double c = 1.0, s = 0.0;
+    double g[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+    double b[3] = {0, 0, 0};
+    double uu = 0.0, ux = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w =
+          weights.empty() ? 1.0 : static_cast<double>(weights[i]);
+      const double wc = w * c;
+      const double ws = w * s;
+      const double xv = w * static_cast<double>(x[i]);
+      g[0][0] += wc * wc;
+      g[0][1] += wc * ws;
+      g[0][2] += wc * w;
+      g[1][1] += ws * ws;
+      g[1][2] += ws * w;
+      g[2][2] += w * w;
+      b[0] += wc * xv;
+      b[1] += ws * xv;
+      b[2] += w * xv;
+      uu += w * w;
+      ux += w * xv;
+      const double c_next = c * cw - s * sw;
+      s = s * cw + c * sw;
+      c = c_next;
+    }
+    g[1][0] = g[0][1];
+    g[2][0] = g[0][2];
+    g[2][1] = g[1][2];
+    const double full = explained_energy(g, b);
+    const double dc_only = uu > 0.0 ? ux * ux / uu : 0.0;
+    out[j] = std::max(0.0, full - dc_only);
+  }
+}
+
+double tone_known_phase_score_f32(std::span<const float> x, double freq,
+                                  double phase_rad, double fs,
+                                  std::span<const float> weights) {
+  BIS_CHECK(fs > 0.0);
+  BIS_CHECK(freq > 0.0 && freq < fs / 2.0);
+  BIS_CHECK(weights.empty() || weights.size() == x.size());
+  const std::size_t n = x.size();
+  if (n < 4) return 0.0;
+
+  // Basis t[i] = w·cos(ωi + φ) via phasor recurrence seeded at phase φ;
+  // 2×2 LS against the DC column, all accumulation in double.
+  const double omega = kTwoPi * freq / fs;
+  const double cw = std::cos(omega), sw = std::sin(omega);
+  double c = std::cos(phase_rad), s = std::sin(phase_rad);
+  double tt = 0.0, tu = 0.0, uu = 0.0, tx = 0.0, ux = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights.empty() ? 1.0 : static_cast<double>(weights[i]);
+    const double t = w * c;
+    const double xv = w * static_cast<double>(x[i]);
+    tt += t * t;
+    tu += t * w;
+    uu += w * w;
+    tx += t * xv;
+    ux += w * xv;
+    const double c_next = c * cw - s * sw;
+    s = s * cw + c * sw;
+    c = c_next;
+  }
+  const double det = tt * uu - tu * tu;
+  if (std::abs(det) < 1e-30 || uu <= 0.0) return 0.0;
+  const double a = (tx * uu - ux * tu) / det;
+  const double d = (ux * tt - tx * tu) / det;
+  const double full = a * tx + d * ux;
+  const double dc_only = ux * ux / uu;
+  return std::max(0.0, full - dc_only);
+}
+
 ToneFit tone_fit(std::span<const double> x, double freq, double fs,
                  std::span<const double> weights) {
   BIS_CHECK(fs > 0.0);

@@ -28,6 +28,25 @@ std::vector<double> tone_glrt_scores(std::span<const double> x,
                                      std::span<const double> freqs, double fs,
                                      std::span<const double> weights = {});
 
+/// float32_fast tier bank scorer (non-normative; tolerance-validated). Same
+/// model as tone_glrt_scores, but the cos/sin basis comes from a phasor
+/// recurrence instead of two libm calls per sample per frequency — the
+/// double path's dominant cost. Inputs are the tier's float frame data;
+/// Gram/RHS accumulation stays in double, so the scores differ from the
+/// normative path only by the float input rounding and the recurrence
+/// basis. @p out.size() must equal @p freqs.size().
+void tone_glrt_scores_f32(std::span<const float> x, std::span<const double> freqs,
+                          double fs, std::span<const float> weights,
+                          std::span<double> out);
+
+/// float32_fast tier known-phase scorer (non-normative). Same 2×2 LS model
+/// as tone_known_phase_score; the basis column w·cos(ωi + φ) comes from a
+/// phasor recurrence seeded at (cos φ, sin φ). Accumulation stays in
+/// double.
+double tone_known_phase_score_f32(std::span<const float> x, double freq,
+                                  double phase_rad, double fs,
+                                  std::span<const float> weights);
+
 /// Full fit result: x[n] ≈ a·cos(ωn) + b·sin(ωn) + dc.
 struct ToneFit {
   double a = 0.0;

@@ -63,6 +63,35 @@ std::span<const double> TagDetector::spectrum_into(
   // This runs once per range bin per block — the detector's hottest loop.
   // thread_local scratch keeps each parallel_for lane allocation-free; every
   // call fully overwrites the buffers, so reuse never leaks state across bins.
+  const std::size_t n_fft =
+      dsp::next_power_of_two(count) * config_.slow_time_pad_factor;
+  thread_local dsp::RVec power;
+  if (config_.precision == dsp::Precision::kFloat32Fast) {
+    // float32_fast tier: the whole per-bin chain (|·| column, mean removal,
+    // Hann, rfft, |·|²) runs in float; the power spectrum converts to the
+    // double scoring buffer once at the end.
+    thread_local dsp::FVec colf;
+    thread_local dsp::FVec xwf;
+    colf.resize(n_chirps);
+    profiles.column_magnitude_f32(bin, colf);
+    const std::span<const float> series(colf.data() + first, count);
+    float mean = 0.0f;
+    for (float x : series) mean += x;
+    mean /= static_cast<float>(series.size());
+    const auto wf = dsp::cached_window_f32(dsp::WindowType::kHann, count);
+    xwf.resize(count);
+    for (std::size_t i = 0; i < count; ++i)
+      xwf[i] = (series[i] - mean) * (*wf)[i];
+    thread_local dsp::CVecF specf;
+    dsp::rfft_padded_into_f32(xwf, n_fft, specf);
+    thread_local dsp::FVec powerf;
+    powerf.resize(specf.size());
+    dsp::kernels::knorm(specf, powerf);
+    power.resize(powerf.size());
+    for (std::size_t i = 0; i < powerf.size(); ++i)
+      power[i] = static_cast<double>(powerf[i]);
+    return power;
+  }
   thread_local dsp::RVec col;
   thread_local dsp::RVec xw;
   col.resize(n_chirps);
@@ -77,13 +106,10 @@ std::span<const double> TagDetector::spectrum_into(
   const auto w = dsp::cached_window(dsp::WindowType::kHann, count);
   xw.resize(count);
   for (std::size_t i = 0; i < count; ++i) xw[i] = (series[i] - mean) * (*w)[i];
-  const std::size_t n_fft =
-      dsp::next_power_of_two(count) * config_.slow_time_pad_factor;
   // Real-input fast path: the one-sided rfft is all this ever read from the
   // full complex transform.
   thread_local dsp::CVec spec;
   dsp::rfft_padded_into(xw, n_fft, spec);
-  thread_local dsp::RVec power;
   power.resize(spec.size());
   dsp::kernels::knorm(spec, power);
   return power;

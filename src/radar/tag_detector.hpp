@@ -14,6 +14,7 @@
 
 #include "common/thread_pool.hpp"
 #include "dsp/types.hpp"
+#include "dsp/precision.hpp"
 #include "radar/range_align.hpp"
 
 namespace bis::radar {
@@ -44,6 +45,11 @@ struct TagDetectorConfig {
                                  ///< so detection integrates per block and
                                  ///< fuses across blocks. 0 = whole frame
                                  ///< (fixed-tone beacon / OOK).
+  /// Numeric tier for the per-bin slow-time spectrum (column magnitudes,
+  /// Hann window, rfft, |·|²) — the detector's hottest loop. Scores,
+  /// thresholds, and the SNR estimate stay double either way; the float
+  /// spectrum converts to double once per bin. Tolerance-validated.
+  dsp::Precision precision = dsp::Precision::kDoubleStrict;
 };
 
 struct TagDetection {

@@ -7,6 +7,8 @@
 #include "dsp/tone_fit.hpp"
 #include "dsp/window.hpp"
 
+#include <map>
+
 namespace bis::tag {
 
 SymbolDemod::SymbolDemod(const SymbolDemodConfig& config)
@@ -43,6 +45,46 @@ std::vector<double> score_bank(std::span<const double> window,
   return out;
 }
 
+/// √Hann float weights per window length. The decoder re-uses a handful of
+/// lengths (one per slot duration) across every symbol of every frame, so
+/// after warmup this is a map hit — the float tier's per-symbol loop stays
+/// allocation-free where the double path rebuilds its weights per call.
+const bis::dsp::FVec& cached_sqrt_hann_f32(std::size_t n) {
+  thread_local std::map<std::size_t, bis::dsp::FVec> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    const auto w = bis::dsp::make_window(bis::dsp::WindowType::kHann, n);
+    bis::dsp::FVec wf(n);
+    for (std::size_t i = 0; i < n; ++i)
+      wf[i] = static_cast<float>(std::sqrt(w[i]));
+    it = cache.emplace(n, std::move(wf)).first;
+  }
+  return it->second;
+}
+
+/// float32_fast tier bank scorer: one cast of the window to float, then the
+/// phasor-recurrence scorers (no per-sample libm) — the phase-free GLRT
+/// bank or, when calibration provided slot phases, the known-phase 2×2 LS.
+std::vector<double> score_bank_f32(std::span<const double> window,
+                                   const std::vector<double>& freqs,
+                                   const std::vector<double>& phases,
+                                   double fs) {
+  thread_local bis::dsp::FVec xf;
+  xf.resize(window.size());
+  for (std::size_t i = 0; i < window.size(); ++i)
+    xf[i] = static_cast<float>(window[i]);
+  const auto& wf = cached_sqrt_hann_f32(window.size());
+  std::vector<double> out(freqs.size());
+  if (phases.empty()) {
+    bis::dsp::tone_glrt_scores_f32(xf, freqs, fs, wf, out);
+  } else {
+    for (std::size_t i = 0; i < freqs.size(); ++i)
+      out[i] = bis::dsp::tone_known_phase_score_f32(xf, freqs[i], phases[i],
+                                                    fs, wf);
+  }
+  return out;
+}
+
 SymbolDemod::Result pick(std::vector<double> powers) {
   SymbolDemod::Result r;
   r.powers = std::move(powers);
@@ -64,6 +106,10 @@ SymbolDemod::Result SymbolDemod::classify(std::span<const double> window) const 
   const auto guard = static_cast<std::size_t>(
       config_.guard_fraction * static_cast<double>(window.size()));
   const auto core = window.subspan(guard, window.size() - 2 * guard);
+  if (config_.precision == dsp::Precision::kFloat32Fast)
+    return pick(score_bank_f32(core, config_.slot_beat_freqs_hz,
+                               config_.slot_phases_rad,
+                               config_.sample_rate_hz));
   return pick(score_bank(core, config_.slot_beat_freqs_hz,
                          config_.slot_phases_rad, config_.sample_rate_hz));
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "dsp/goertzel.hpp"
+#include "dsp/precision.hpp"
 #include "dsp/types.hpp"
 
 namespace bis::tag {
@@ -33,6 +34,10 @@ struct SymbolDemodConfig {
                                            ///< matching (decisive at ~1 beat
                                            ///< cycle per window).
   double guard_fraction = 0.0;  ///< Optional trim from both window ends.
+  /// Numeric tier for the bank scorer. kFloat32Fast swaps the per-sample
+  /// libm cos/sin GLRT basis for the float-input phasor-recurrence scorer
+  /// (dsp::tone_glrt_scores_f32); tolerance-validated, never bit-compared.
+  dsp::Precision precision = dsp::Precision::kDoubleStrict;
 };
 
 class SymbolDemod {

@@ -17,6 +17,7 @@ SymbolDemodConfig make_demod_config(const TagDecoderConfig& cfg) {
   d.slot_durations_s = cfg.slot_durations_s;
   d.slot_phases_rad = cfg.slot_phases_rad;
   d.guard_fraction = cfg.demod_guard_fraction;
+  d.precision = cfg.precision;
   return d;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/random.hpp"
+#include "dsp/precision.hpp"
 #include "dsp/types.hpp"
 #include "rf/adc.hpp"
 #include "rf/chirp.hpp"
@@ -42,6 +43,11 @@ struct TagFrontendConfig {
   rf::RfSwitchConfig rf_switch;
   double pga_max_gain = 1e7;  ///< Programmable gain amplifier ceiling.
   bool model_multipath_cross_terms = true;
+  /// Numeric tier for the per-period synthesis loop (oscillator bank, noise
+  /// fill, PGA apply). kFloat32Fast runs the stream in float32 with one
+  /// conversion back to double at the frame edge; non-normative,
+  /// tolerance-validated (see dsp/precision.hpp).
+  dsp::Precision precision = dsp::Precision::kDoubleStrict;
 };
 
 class TagFrontend {
@@ -61,6 +67,10 @@ class TagFrontend {
   /// stream is sized up front from the summed per-chirp sample counts and
   /// each period is synthesized directly into its slice — no repeated
   /// reallocation/copy growth on the hot loop.
+  /// Under TagFrontendConfig::precision == kFloat32Fast the per-period
+  /// synthesis runs in float32 and the stream is converted to double once,
+  /// here, at the frame edge — same return type either way, so the decoder
+  /// chain downstream is untouched.
   dsp::RVec receive_frame(std::span<const rf::ChirpParams> chirps,
                           std::span<const IncidentPath> paths,
                           std::span<const bool> absorptive);
@@ -86,6 +96,18 @@ class TagFrontend {
   void synthesize_period(const rf::ChirpParams& chirp,
                          std::span<const IncidentPath> paths, bool absorptive,
                          std::span<double> out);
+
+  /// float32_fast tier variant of synthesize_period. Consumes the RNG
+  /// identically (same fill_gaussian chunking over the same stream).
+  void synthesize_period_f32(const rf::ChirpParams& chirp,
+                             std::span<const IncidentPath> paths,
+                             bool absorptive, std::span<float> out);
+
+  /// Shared per-period setup: switch routing, chirp copies, envelope mix,
+  /// optional cross-term pruning. Returns the mixed tone set.
+  rf::EnvelopeDetector::Output mix_period(const rf::ChirpParams& chirp,
+                                          std::span<const IncidentPath> paths,
+                                          bool absorptive);
 
   TagFrontendConfig config_;
   rf::DelayLinePair delay_line_;

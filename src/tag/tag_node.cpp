@@ -48,6 +48,9 @@ TagDecoderConfig TagNode::make_decoder_config() const {
   d.min_header_run = config_.min_header_run;
   d.expected_header_chirps = config_.expected_header_chirps;
   d.expected_sync_chirps = config_.expected_sync_chirps;
+  // The decoder runs the same numeric tier as the frontend that produced
+  // its stream — one knob per tag.
+  d.precision = config_.frontend.precision;
 
   d.period.sample_rate_hz = frontend_.sample_rate();
   d.period.min_period_s = alphabet_config_.chirp_period_s * 0.4;

@@ -1,0 +1,214 @@
+// Precision tiers (DESIGN.md §16): the float32_fast tier must track the
+// normative double_strict pipeline within statistical tolerance, the
+// tolerance gate itself must be falsifiable (poisoned-kernel test), and the
+// per-kernel float32 implementations must agree with double at unit level.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/precision_validation.hpp"
+#include "core/sweep_runner.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/kernels/kernels.hpp"
+#include "dsp/precision.hpp"
+
+namespace bis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Config plumbing
+
+TEST(Precision, ParseAndName) {
+  dsp::Precision p = dsp::Precision::kFloat32Fast;
+  EXPECT_TRUE(dsp::parse_precision("double_strict", p));
+  EXPECT_EQ(p, dsp::Precision::kDoubleStrict);
+  EXPECT_TRUE(dsp::parse_precision("float32_fast", p));
+  EXPECT_EQ(p, dsp::Precision::kFloat32Fast);
+  EXPECT_TRUE(dsp::parse_precision("", p));  // empty = default tier
+  EXPECT_EQ(p, dsp::Precision::kDoubleStrict);
+  p = dsp::Precision::kFloat32Fast;
+  EXPECT_FALSE(dsp::parse_precision("float16_fast", p));
+  EXPECT_EQ(p, dsp::Precision::kFloat32Fast);  // untouched on failure
+  EXPECT_STREQ(dsp::precision_name(dsp::Precision::kDoubleStrict),
+               "double_strict");
+  EXPECT_STREQ(dsp::precision_name(dsp::Precision::kFloat32Fast),
+               "float32_fast");
+}
+
+TEST(Precision, ConfigKeyTagsOnlyNonDefaultTier) {
+  core::SystemConfig cfg;
+  const std::string strict_key = core::config_key(cfg);
+  EXPECT_EQ(strict_key.find("prec="), std::string::npos);
+  cfg.precision = dsp::Precision::kFloat32Fast;
+  const std::string fast_key = core::config_key(cfg);
+  EXPECT_NE(fast_key.find("prec=float32_fast"), std::string::npos);
+  EXPECT_NE(strict_key, fast_key);
+}
+
+// ---------------------------------------------------------------------------
+// Unit-level kernel agreement (float32 vs double, same inputs)
+
+TEST(PrecisionKernels, MatchDoubleWithinTolerance) {
+  Rng rng(2024);
+  const std::size_t n = 1537;  // odd: exercises every lane tail
+  std::vector<dsp::cdouble> xd(n);
+  std::vector<dsp::cfloat> xf(n);
+  std::vector<double> wd(n), yd(n);
+  std::vector<float> wf(n), yf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double re = rng.uniform(-1.0, 1.0), im = rng.uniform(-1.0, 1.0);
+    const double w = rng.uniform(0.0, 1.0);
+    xd[i] = {re, im};
+    xf[i] = {static_cast<float>(re), static_cast<float>(im)};
+    wd[i] = w;
+    wf[i] = static_cast<float>(w);
+  }
+
+  dsp::kernels::kmag(std::span<const dsp::cdouble>(xd), std::span<double>(yd));
+  dsp::kernels::kmag(std::span<const dsp::cfloat>(xf), std::span<float>(yf));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(yf[i], yd[i], 1e-5 * (1.0 + std::abs(yd[i]))) << i;
+
+  // mag_db uses a polynomial log10 in the float tier; require ~1e-3 dB.
+  dsp::kernels::kmag_db(std::span<const dsp::cdouble>(xd),
+                        std::span<double>(yd), -300.0);
+  dsp::kernels::kmag_db(std::span<const dsp::cfloat>(xf),
+                        std::span<float>(yf), -300.0f);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(yf[i], yd[i], 2e-3) << i;
+
+  const double sd = dsp::kernels::ksum_sq(std::span<const double>(wd));
+  const float sf = dsp::kernels::ksum_sq(std::span<const float>(wf));
+  EXPECT_NEAR(sf, sd, 1e-4 * sd);
+
+  // Goertzel: 8 tone frequencies over the same signal. The recurrence runs
+  // n iterations, so float error scales with the final state magnitude.
+  std::vector<double> cd(8), s1d(8), s2d(8);
+  std::vector<float> cf(8), s1f(8), s2f(8);
+  for (std::size_t k = 0; k < 8; ++k) {
+    const double c = 2.0 * std::cos(0.05 + 0.3 * static_cast<double>(k));
+    cd[k] = c;
+    cf[k] = static_cast<float>(c);
+  }
+  dsp::kernels::kgoertzel(std::span<const double>(wd),
+                          std::span<const double>(cd), std::span<double>(s1d),
+                          std::span<double>(s2d));
+  dsp::kernels::kgoertzel(std::span<const float>(wf),
+                          std::span<const float>(cf), std::span<float>(s1f),
+                          std::span<float>(s2f));
+  for (std::size_t k = 0; k < 8; ++k) {
+    const double scale =
+        std::max({1.0, std::abs(s1d[k]), std::abs(s2d[k])});
+    EXPECT_NEAR(s1f[k], s1d[k], 1e-2 * scale) << k;
+    EXPECT_NEAR(s2f[k], s2d[k], 1e-2 * scale) << k;
+  }
+}
+
+TEST(PrecisionKernels, GoertzelFallbackThreshold) {
+  using dsp::kernels::kGoertzelScalarFallbackSamples;
+  EXPECT_FALSE(dsp::kernels::kgoertzel_prefers_scalar(64));
+  EXPECT_FALSE(
+      dsp::kernels::kgoertzel_prefers_scalar(kGoertzelScalarFallbackSamples));
+  EXPECT_TRUE(dsp::kernels::kgoertzel_prefers_scalar(
+      kGoertzelScalarFallbackSamples + 1));
+  EXPECT_TRUE(dsp::kernels::kgoertzel_prefers_scalar(18944));
+}
+
+TEST(PrecisionKernels, Float32FftMatchesDouble) {
+  Rng rng(7);
+  const std::size_t n = 600, n_fft = 1024;
+  std::vector<dsp::cdouble> xd(n);
+  std::vector<dsp::cfloat> xf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double re = rng.uniform(-1.0, 1.0), im = rng.uniform(-1.0, 1.0);
+    xd[i] = {re, im};
+    xf[i] = {static_cast<float>(re), static_cast<float>(im)};
+  }
+  dsp::CVec yd;
+  dsp::CVecF yf;
+  dsp::fft_padded_into(std::span<const dsp::cdouble>(xd), n_fft, yd);
+  dsp::fft_padded_into_f32(std::span<const dsp::cfloat>(xf), n_fft, yf);
+  ASSERT_EQ(yd.size(), n_fft);
+  ASSERT_EQ(yf.size(), n_fft);
+  // Relative to the spectrum scale (~sqrt(n) average magnitude), float
+  // rounding over log2(n) butterfly stages stays well under 1e-4.
+  double scale = 0.0;
+  for (const auto& v : yd) scale = std::max(scale, std::abs(v));
+  for (std::size_t i = 0; i < n_fft; ++i) {
+    EXPECT_NEAR(yf[i].real(), yd[i].real(), 1e-4 * scale) << i;
+    EXPECT_NEAR(yf[i].imag(), yd[i].imag(), 1e-4 * scale) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end tolerance harness
+
+core::SystemConfig tolerance_base_config() {
+  core::SystemConfig base;
+  base.tag.node.uplink.chirps_per_symbol = 32;
+  return base;
+}
+
+core::SweepWorkload tolerance_workload() {
+  core::SweepWorkload w;
+  w.frames = 2;
+  w.bits_per_frame = 4;
+  w.downlink_active = true;  // exercises the IF-correction path too
+  return w;
+}
+
+TEST(PrecisionTolerance, UplinkWithinBoundsAcrossSeeds) {
+  const std::vector<double> ranges = {1.5, 3.0};
+  const std::vector<std::uint64_t> seeds = {11, 47, 2026};
+  const auto report = core::compare_precision_tiers(
+      tolerance_base_config(), ranges, seeds, tolerance_workload());
+  EXPECT_EQ(report.seeds_compared, seeds.size());
+  EXPECT_EQ(report.points_compared, ranges.size() * seeds.size());
+  EXPECT_TRUE(report.within(core::PrecisionToleranceBounds{}))
+      << report.summary();
+}
+
+TEST(PrecisionTolerance, GateFailsWithPoisonedKernel) {
+  // A gate that cannot fail is not a gate: break the float32 window kernel
+  // (zeroed output) and require the deltas to blow through the bounds.
+  dsp::kernels::detail::set_f32_test_poison(true);
+  const std::vector<double> ranges = {1.5};
+  const std::vector<std::uint64_t> seeds = {11};
+  const auto report = core::compare_precision_tiers(
+      tolerance_base_config(), ranges, seeds, tolerance_workload());
+  dsp::kernels::detail::set_f32_test_poison(false);
+  EXPECT_FALSE(report.within(core::PrecisionToleranceBounds{}))
+      << report.summary();
+}
+
+TEST(PrecisionTolerance, DoubleStrictUnaffectedByTierPlumbing) {
+  // The normative tier must be bit-identical whether or not the float32
+  // machinery exists: run the same sweep twice under double_strict and
+  // require exact equality (this is the regression guard for the refactor
+  // that threaded Precision through the pipeline).
+  core::SweepOptions opts;
+  opts.mode = core::SweepMode::kUplink;
+  opts.master_seed = 99;
+  opts.threads = 1;
+  opts.workload = tolerance_workload();
+  const std::vector<double> ranges = {2.0};
+  const auto grid = core::range_sweep_grid(tolerance_base_config(), ranges);
+  const auto a = core::SweepRunner(opts).run(grid);
+  const auto b = core::SweepRunner(opts).run(grid);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].uplink.ber, b.points[i].uplink.ber);
+    EXPECT_EQ(a.points[i].uplink.mean_snr_processed_db,
+              b.points[i].uplink.mean_snr_processed_db);
+    EXPECT_EQ(a.points[i].uplink.mean_range_error_m,
+              b.points[i].uplink.mean_range_error_m);
+  }
+}
+
+}  // namespace
+}  // namespace bis

@@ -90,8 +90,11 @@ RVec ref_norm(std::span<const cdouble> x) {
 RVec ref_mag_db(std::span<const cdouble> x, double floor_db) {
   RVec out(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
+    // Mirrors the kernel's hoisted form: 10·log10(n) = (10/ln 10)·ln(n).
     const double n = x[i].real() * x[i].real() + x[i].imag() * x[i].imag();
-    out[i] = n > 0.0 ? std::max(10.0 * std::log10(n), floor_db) : floor_db;
+    constexpr double kTenOverLn10 = 4.342944819032518;
+    out[i] =
+        n > 0.0 ? std::max(kTenOverLn10 * std::log(n), floor_db) : floor_db;
   }
   return out;
 }

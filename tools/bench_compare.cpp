@@ -34,9 +34,15 @@ namespace {
 using bis::JsonValue;
 
 /// Fields that identify a row inside an array of objects (never gated).
+/// "tier"/"precision"/"grid"/"fallback" keep float32_fast rows from ever
+/// being matched against double_strict rows (and scalar-fallback goertzel
+/// rows against SIMD rows) — a tier mismatch must read as a missing row,
+/// not a perf delta.
 constexpr const char* kIdentityFields[] = {
-    "links", "workers", "frames_per_link", "threads", "n",
-    "n_fft", "kernel", "chirps", "points", "rows", "bins", "target",
+    "links", "workers", "frames_per_link", "threads",  "n",
+    "n_fft", "kernel",  "chirps",          "points",   "rows",
+    "bins",  "target",  "tier",            "precision", "grid",
+    "fallback",
 };
 
 /// Boolean gates: a true→false flip is always a regression.
@@ -138,6 +144,8 @@ std::string row_signature(const JsonValue& row) {
       sig += buf;
     } else if (v->is_string()) {
       sig += v->as_string();
+    } else if (v->is_bool()) {
+      sig += v->as_bool() ? "true" : "false";
     }
   }
   return sig;
@@ -230,6 +238,28 @@ void compare_values(const std::string& path, const JsonValue& base,
   }
 }
 
+/// Numbers measured under different SIMD targets or numeric tiers are not
+/// comparable: when both files carry a "host" fingerprint, disagreement on
+/// simd_target or precision is a usage error (exit 2), never a perf diff.
+bool host_fingerprints_compatible(const JsonValue& base, const JsonValue& cur,
+                                  std::string& why) {
+  const JsonValue* bh = base.is_object() ? base.find("host") : nullptr;
+  const JsonValue* ch = cur.is_object() ? cur.find("host") : nullptr;
+  if (bh == nullptr || ch == nullptr) return true;  // legacy file: no check
+  for (const char* key : {"simd_target", "precision"}) {
+    const JsonValue* bv = bh->find(key);
+    const JsonValue* cv = ch->find(key);
+    if (bv == nullptr || cv == nullptr || !bv->is_string() || !cv->is_string())
+      continue;
+    if (bv->as_string() != cv->as_string()) {
+      why = std::string("host.") + key + " mismatch: baseline \"" +
+            bv->as_string() + "\" vs current \"" + cv->as_string() + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
 int run_compare(const std::string& baseline_path,
                 const std::string& current_path, const CompareOptions& opts,
                 bool quiet) {
@@ -243,6 +273,14 @@ int run_compare(const std::string& baseline_path,
   if (!cur.ok()) {
     std::fprintf(stderr, "bench_compare: current parse error: %s\n",
                  cur.error.c_str());
+    return 2;
+  }
+  std::string host_mismatch;
+  if (!host_fingerprints_compatible(base.value, cur.value, host_mismatch)) {
+    std::fprintf(stderr,
+                 "bench_compare: refusing to compare: %s (rerun the bench "
+                 "under the baseline's target/tier or refresh the baseline)\n",
+                 host_mismatch.c_str());
     return 2;
   }
   CompareState st{opts, {}, {}, 0, 0};
