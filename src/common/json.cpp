@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -311,6 +313,132 @@ JsonParseResult json_parse_file(const std::string& path) {
   JsonParseResult out = json_parse(text);
   if (!out.ok()) out.error = path + ":" + out.error;
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void JsonWriter::element_prefix() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (depth_ > 0) {
+    const std::uint64_t bit = std::uint64_t{1} << (depth_ - 1);
+    if ((has_elem_bits_ & bit) != 0) out_ += ',';
+    has_elem_bits_ |= bit;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  element_prefix();
+  out_ += '{';
+  ++depth_;
+  has_elem_bits_ &= ~(std::uint64_t{1} << (depth_ - 1));
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  --depth_;
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  element_prefix();
+  out_ += '[';
+  ++depth_;
+  has_elem_bits_ &= ~(std::uint64_t{1} << (depth_ - 1));
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  --depth_;
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  element_prefix();
+  append_json_escaped(out_, k);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  element_prefix();
+  append_json_escaped(out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  element_prefix();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  element_prefix();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  // %g matches the default ostream formatting the repo's stream-based JSON
+  // writers use, so converting a writer to this path keeps the same bytes.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  element_prefix();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out_.append(buf, res.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  element_prefix();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out_.append(buf, res.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null_value() {
+  element_prefix();
+  out_ += "null";
+  return *this;
 }
 
 }  // namespace bis

@@ -9,6 +9,7 @@
 /// favors clear errors (line/column in the message) over recovery.
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -86,5 +87,46 @@ JsonParseResult json_parse(std::string_view text);
 
 /// Parse a whole file; `error` covers both I/O and syntax failures.
 JsonParseResult json_parse_file(const std::string& path);
+
+/// Append-to-string JSON writer — the emit-side counterpart of the reader
+/// above. Writes compact JSON into one caller-owned std::string (reserve it
+/// up front and emitting allocates at most on string growth), with the same
+/// conventions the repo's readers expect: NaN/±Inf numbers emit `null`,
+/// strings are escaped. Comma placement is tracked per nesting level, so
+/// callers just interleave key()/value()/begin_*()/end_*() calls in document
+/// order. This is the writer path behind RunReport::append_json and
+/// BiScatterNetwork::report_json, where per-link ostringstream concatenation
+/// used to dominate large-network report dumps.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key (escaped). Must be followed by exactly one value or
+  /// container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);  ///< NaN/±Inf emit null.
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& null_value();
+
+ private:
+  /// Emit the separating comma for a new element (none right after a key or
+  /// for the first element of a container).
+  void element_prefix();
+
+  std::string& out_;
+  std::uint64_t has_elem_bits_ = 0;  ///< Bit per depth: container non-empty.
+  unsigned depth_ = 0;               ///< Nesting depth (max 64).
+  bool after_key_ = false;
+};
 
 }  // namespace bis

@@ -16,9 +16,8 @@
 #include "obs/trace.hpp"
 
 namespace bis::core {
-namespace {
 
-tag::TagNodeConfig prepare_tag_config(const SystemConfig& config) {
+tag::TagNodeConfig effective_tag_node_config(const SystemConfig& config) {
   tag::TagNodeConfig node = config.tag.node;
   // The uplink cadence must match the radar frame cadence, and the decoder
   // state machine must know the protocol's sync-field length.
@@ -29,6 +28,24 @@ tag::TagNodeConfig prepare_tag_config(const SystemConfig& config) {
   node.frontend.precision = config.precision;
   return node;
 }
+
+std::vector<tag::IncidentPath> incident_paths_for(const SystemConfig& config,
+                                                  double range_m) {
+  const double p_dbm = rf::downlink_power_at_tag_dbm(
+      config.radar.rf, config.tag.rf, range_m,
+      config.radar.start_frequency_hz + config.radar.bandwidth_hz / 2.0);
+  // Peak voltage of a real RF carrier with this power into 1 Ω.
+  const double a_los = std::sqrt(2.0 * dbm_to_watts(p_dbm));
+  std::vector<tag::IncidentPath> paths;
+  paths.push_back({a_los, 0.0, 0.0});
+  for (const auto& tap : config.channel.taps) {
+    paths.push_back({a_los * db_to_amplitude(tap.relative_gain_db),
+                     tap.excess_delay_s, tap.phase_rad});
+  }
+  return paths;
+}
+
+namespace {
 
 radar::TagDetectorConfig make_uplink_detector_config(const phy::UplinkConfig& ul,
                                                      dsp::Precision precision) {
@@ -76,7 +93,7 @@ LinkSimulator::LinkSimulator(const SystemConfig& config,
     : config_(config),
       alphabet_(shared_alphabet),
       rng_(config.seed),
-      tag_(prepare_tag_config(config), alphabet_, Rng(config.seed ^ 0x7A67ull)),
+      tag_(effective_tag_node_config(config), alphabet_, Rng(config.seed ^ 0x7A67ull)),
       range_processor_(radar::RangeProcessorConfig{}),
       aligner_(config.if_correction),
       uplink_detector_(make_uplink_detector_config(tag_.modulator().config(), config.precision)),
@@ -179,16 +196,7 @@ double LinkSimulator::uplink_power_at_radar_dbm(double range_m) const {
 }
 
 std::vector<tag::IncidentPath> LinkSimulator::incident_paths(double range_m) const {
-  const double p_dbm = downlink_power_at_tag_dbm(range_m);
-  // Peak voltage of a real RF carrier with this power into 1 Ω.
-  const double a_los = std::sqrt(2.0 * dbm_to_watts(p_dbm));
-  std::vector<tag::IncidentPath> paths;
-  paths.push_back({a_los, 0.0, 0.0});
-  for (const auto& tap : config_.channel.taps) {
-    paths.push_back({a_los * db_to_amplitude(tap.relative_gain_db),
-                     tap.excess_delay_s, tap.phase_rad});
-  }
-  return paths;
+  return incident_paths_for(config_, range_m);
 }
 
 double LinkSimulator::downlink_envelope_snr_db(double range_m) const {

@@ -234,4 +234,18 @@ class LinkSimulator {
 ThreadPool* resolve_dsp_pool(std::size_t dsp_threads,
                              std::unique_ptr<ThreadPool>& owned);
 
+/// The tag-node config a LinkSimulator would actually run for @p config:
+/// `config.tag.node` with the uplink cadence locked to the radar chirp
+/// period, the packet's header/sync lengths wired into the decoder state
+/// machine, and the frontend numeric tier matched to `config.precision`.
+/// BiScatterNetwork builds lightweight per-tag TagNodes through this instead
+/// of carrying a full LinkSimulator per tag.
+tag::TagNodeConfig effective_tag_node_config(const SystemConfig& config);
+
+/// Incident multipath set at the tag for a given range (LoS + channel taps),
+/// in frontend units — the free-function form of
+/// LinkSimulator::incident_paths, bit-identical to it.
+std::vector<tag::IncidentPath> incident_paths_for(const SystemConfig& config,
+                                                  double range_m);
+
 }  // namespace bis::core

@@ -7,9 +7,18 @@
 /// The radar broadcasts or addresses packets; every tag decodes the frame
 /// and filters by address. On the uplink, the radar separates tags in the
 /// slow-time spectrum by their assigned frequencies and localizes each.
+///
+/// The network holds lightweight per-tag state (a TagNode plus its derived
+/// SystemConfig and report) instead of one full LinkSimulator per tag, and
+/// senses every tag from ONE shared frame: the range–slow-time spectrum is
+/// computed once and all tags are scored through the batched
+/// radar::TagDetector::detect_many bank (see DESIGN.md on batched
+/// multi-tag detection). Detection decisions are bit-identical to running
+/// the sequential single-tag detector per tag.
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -57,35 +66,94 @@ class BiScatterNetwork {
   void calibrate_all();
 
   /// Broadcast (address = 0xFF) or unicast a downlink packet; returns what
-  /// every tag decoded.
+  /// every tag decoded. The over-the-air frame (packet → CSSK chirps) is
+  /// built once; each tag then runs its own propagation + decode.
   std::vector<DownlinkDelivery> send_downlink(std::uint8_t address,
                                               const phy::Bits& payload);
 
   /// One sensing frame with every tag beaconing at its own frequency;
-  /// the radar localizes each tag.
+  /// the radar localizes each tag. One IF synthesis + range FFT + alignment
+  /// pass for the whole network, then one batched detect_many call scoring
+  /// every tag's frequency signature against the shared spectra.
   std::vector<TagObservation> sense_all(bool downlink_active = false);
 
   const NetworkConfig& config() const { return config_; }
 
+  /// Assigned-frequency pairs closer than the slow-time FFT resolution
+  /// 1/(frame_chirps · chirp_period) — tags a single frame cannot separate.
+  /// Computed once at construction; accumulated into the report per sensing
+  /// frame.
+  std::size_t mod_freq_collisions() const { return collisions_; }
+
   // ---- Telemetry (see obs/report.hpp) ----
 
   /// Radar-side stats accumulated by this network object (broadcast
-  /// deliveries, sensing frames/chirps, detections).
+  /// deliveries, sensing frames/chirps, detections, frequency collisions).
   obs::RunReport report() const;
 
   /// JSON: {"network": <network report>, "links": [<per-tag reports>]}.
   std::string report_json() const;
 
  private:
+  /// Per-tag state: the derived single-tag SystemConfig (range, address,
+  /// OOK uplink at the tag's frequency, decorrelated seed), the tag node
+  /// itself, and a per-tag report keyed by that config.
+  struct TagState {
+    SystemConfig config;
+    tag::TagNode node;
+    obs::RunReport report;
+
+    TagState(const SystemConfig& cfg, const phy::SlopeAlphabet& alphabet)
+        : config(cfg),
+          node(effective_tag_node_config(cfg), alphabet,
+               Rng(cfg.seed ^ 0x7A67ull)) {
+      report.config = config_key(cfg);
+    }
+  };
+
   NetworkConfig config_;
-  std::vector<std::unique_ptr<LinkSimulator>> links_;  ///< One per tag.
+  phy::SlopeAlphabet alphabet_;  ///< Shared CSSK alphabet — identical for
+                                 ///< every tag (independent of range, seed,
+                                 ///< and uplink scheme).
+  std::vector<std::unique_ptr<TagState>> tags_;
   std::unique_ptr<ThreadPool> owned_pool_;  ///< When base.dsp_threads > 1.
   ThreadPool* pool_ = nullptr;              ///< Frame DSP pool (see SystemConfig).
   obs::RunReport report_;                   ///< Radar-side run telemetry.
+
+  // Shared radar-side pipeline stages, constructed once.
+  radar::RangeProcessor processor_;
+  radar::RangeAligner aligner_;
+  radar::TagDetector detector_;
+  std::vector<radar::TagTarget> targets_;      ///< One per tag, fixed.
+  std::vector<radar::TagDetection> detections_;  ///< detect_many output.
+
+  // Precomputed scene/link constants.
+  std::vector<double> tag_amp_;  ///< Two-way backscatter amplitude per tag.
+  double reflect_ = 1.0;         ///< RF-switch reflective amplitude factor.
+  double leak_ = 0.0;            ///< Absorptive-state leakage factor.
+  std::size_t n_clutter_ = 0;    ///< Clutter prefix length of returns_.
+  std::size_t collisions_ = 0;   ///< See mod_freq_collisions().
+
+  // Reused frame buffers (allocated once, steady-state alloc-free).
+  std::vector<rf::ChirpParams> chirps_;
+  std::vector<radar::IfReturn> returns_;  ///< [clutter..., one per tag].
+  std::vector<dsp::CVec> if_samples_;
+  std::vector<radar::RangeProfile> profiles_;
+  radar::AlignedProfiles aligned_;
+  std::unique_ptr<bool[]> flags_;  ///< Absorptive flags for downlink frames.
+  std::size_t flags_capacity_ = 0;
 };
 
 /// Assign well-separated modulation frequencies to @p n tags below the
 /// slow-time Nyquist bound for @p chirp_period_s.
 std::vector<double> assign_mod_frequencies(std::size_t n, double chirp_period_s);
+
+/// Count assigned-frequency pairs closer than the slow-time FFT resolution
+/// 1/(n_chirps · chirp_period_s) — adjacent pairs after sorting. Such pairs
+/// land in the same spectral bin and cannot be separated within one frame;
+/// BiScatterNetwork surfaces the count per sensing frame in its RunReport.
+std::size_t count_mod_freq_collisions(std::span<const double> freqs_hz,
+                                      std::size_t n_chirps,
+                                      double chirp_period_s);
 
 }  // namespace bis::core

@@ -254,6 +254,12 @@ bool kgoertzel_prefers_scalar(std::size_t n_samples) {
   return n_samples > kGoertzelScalarFallbackSamples;
 }
 
+void ktagscore(std::span<const double> x, std::span<const std::uint32_t> idx,
+               std::span<const double> w, std::span<const double> g,
+               std::size_t n, std::span<double> on, std::span<double> son) {
+  active().tagscore(x, idx, w, g, n, on, son);
+}
+
 // ---------------------------------------------------------------------------
 // float32_fast tier → active f32 table
 
@@ -314,6 +320,12 @@ float kdot(std::span<const float> x, std::span<const float> y) {
 void kgoertzel(std::span<const float> x, std::span<const float> coeffs,
                std::span<float> s1, std::span<float> s2) {
   active_f32().goertzel(x, coeffs, s1, s2);
+}
+
+void ktagscore(std::span<const float> x, std::span<const std::uint32_t> idx,
+               std::span<const float> w, std::span<const float> g,
+               std::size_t n, std::span<float> on, std::span<float> son) {
+  active_f32().tagscore(x, idx, w, g, n, on, son);
 }
 
 namespace detail {

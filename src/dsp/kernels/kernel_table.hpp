@@ -7,6 +7,7 @@
 /// tables route the public API.
 
 #include <complex>
+#include <cstdint>
 #include <span>
 
 #include "dsp/kernels/kernels.hpp"
@@ -34,6 +35,9 @@ struct KernelTableT {
   Real (*sum_sq)(std::span<const Real>);
   Real (*dot)(std::span<const Real>, std::span<const Real>);
   void (*goertzel)(std::span<const Real>, std::span<const Real>,
+                   std::span<Real>, std::span<Real>);
+  void (*tagscore)(std::span<const Real>, std::span<const std::uint32_t>,
+                   std::span<const Real>, std::span<const Real>, std::size_t,
                    std::span<Real>, std::span<Real>);
 };
 

@@ -47,6 +47,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string_view>
 
@@ -165,6 +166,27 @@ inline constexpr std::size_t kGoertzelScalarFallbackSamples = 256;
 bool kgoertzel_prefers_scalar(std::size_t n_samples);
 
 // ---------------------------------------------------------------------------
+// Batched tag-scoring bank (multi-tag detection inner loop)
+
+/// Score a bank of n sparse signature rows against one shared spectrum
+/// @p x — the inner loop of radar::TagDetector::detect_many, where every
+/// tag's square-wave comb is evaluated against the same per-range-bin
+/// slow-time spectrum. The bank is entry-major: idx/w/g all have size
+/// n_entries·n and element [k·n + j] is entry k of row j (rows with fewer
+/// entries are padded with idx = 0, w = g = 0, which contributes exactly
+/// +0.0). For each row j the kernel accumulates, over k ascending,
+///   on[j]  += w[k·n+j] · x[idx[k·n+j]]   (signature-weighted power)
+///   son[j] += g[k·n+j] · x[idx[k·n+j]]   (raw power on the signature
+///                                         support; g is the 0/1 indicator)
+/// The vector targets run kLanes rows per block; each row's accumulation is
+/// lane-independent and unfused (double tier), so results are bit-identical
+/// to evaluating each row with the scalar two-accumulator loop. idx values
+/// must be < x.size(); on/son must have size n.
+void ktagscore(std::span<const double> x, std::span<const std::uint32_t> idx,
+               std::span<const double> w, std::span<const double> g,
+               std::size_t n, std::span<double> on, std::span<double> son);
+
+// ---------------------------------------------------------------------------
 // float32_fast tier overloads (non-normative; tolerance-validated)
 
 void kmag(std::span<const cfloat> x, std::span<float> out);
@@ -186,6 +208,9 @@ float ksum_sq(std::span<const cfloat> x);
 float kdot(std::span<const float> x, std::span<const float> y);
 void kgoertzel(std::span<const float> x, std::span<const float> coeffs,
                std::span<float> s1, std::span<float> s2);
+void ktagscore(std::span<const float> x, std::span<const std::uint32_t> idx,
+               std::span<const float> w, std::span<const float> g,
+               std::size_t n, std::span<float> on, std::span<float> son);
 
 namespace detail {
 

@@ -22,6 +22,11 @@ struct Avx2Ops {
   using V = __m256d;
 
   static V load(const double* p) { return _mm256_loadu_pd(p); }
+  static V gather(const double* base, const std::uint32_t* idx) {
+    // Hardware gather: loads the same IEEE values as four scalar loads.
+    return _mm256_i32gather_pd(
+        base, _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx)), 8);
+  }
   static void store(double* p, V v) { _mm256_storeu_pd(p, v); }
   static V bcast(double x) { return _mm256_set1_pd(x); }
   static V add(V a, V b) { return _mm256_add_pd(a, b); }

@@ -29,6 +29,13 @@
 ///   Real reduce(V)                        (l0+l1) + (l2+l3) for 4 lanes;
 ///                                         ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))
 ///                                         for 8 lanes
+///   V    gather(const Real* base, const uint32_t* idx)
+///                                         [base[idx[0]], …, base[idx[L−1]]].
+///                                         Loads the same IEEE values on
+///                                         every target (a hardware gather
+///                                         and L scalar loads are
+///                                         value-identical), so bit-identity
+///                                         is unaffected.
 ///   V    load_norm(const Cplx* p)         [re·re + im·im] for L complex,
 ///                                         in element order
 ///   void cmul_block(const Cplx* a, const Cplx* b, Cplx* out)
@@ -256,6 +263,47 @@ void goertzel(std::span<const RealOf<Ops>> x, std::span<const RealOf<Ops>> coeff
   }
 }
 
+template <typename Ops>
+void tagscore(std::span<const RealOf<Ops>> x, std::span<const std::uint32_t> idx,
+              std::span<const RealOf<Ops>> w, std::span<const RealOf<Ops>> g,
+              std::size_t n, std::span<RealOf<Ops>> on, std::span<RealOf<Ops>> son) {
+  using Real = RealOf<Ops>;
+  // One signature row per lane (like goertzel's one frequency per lane):
+  // the entry-major layout puts entry k of row j at [k·n + j], so a lane
+  // block loads kLanes rows' k-th entries contiguously and gathers their
+  // spectrum values. Each row's two accumulators advance sequentially over
+  // its entries in increasing spectrum-index order — the same multiply/add
+  // sequence as the scalar tail below (fmadd is unfused in the double tier),
+  // so rows are bit-identical to the one-row scalar evaluation. Padding
+  // entries (w = g = 0, idx = 0) contribute +0.0, which is exact on the
+  // non-negative accumulators.
+  const std::size_t entries = n == 0 ? 0 : idx.size() / n;
+  const std::size_t nL = n - n % Ops::kLanes;
+  for (std::size_t j = 0; j < nL; j += Ops::kLanes) {
+    auto acc_on = Ops::bcast(Real(0));
+    auto acc_son = Ops::bcast(Real(0));
+    for (std::size_t k = 0; k < entries; ++k) {
+      const std::size_t base = k * n + j;
+      const auto xv = Ops::gather(x.data(), idx.data() + base);
+      acc_on = Ops::fmadd(Ops::load(w.data() + base), xv, acc_on);
+      acc_son = Ops::fmadd(Ops::load(g.data() + base), xv, acc_son);
+    }
+    Ops::store(on.data() + j, acc_on);
+    Ops::store(son.data() + j, acc_son);
+  }
+  for (std::size_t j = nL; j < n; ++j) {
+    Real a = Real(0), b = Real(0);
+    for (std::size_t k = 0; k < entries; ++k) {
+      const std::size_t e = k * n + j;
+      const Real xv = x[idx[e]];
+      a = a + w[e] * xv;
+      b = b + g[e] * xv;
+    }
+    on[j] = a;
+    son[j] = b;
+  }
+}
+
 /// Assemble the dispatch table for one backend.
 template <typename Ops>
 detail::KernelTableT<RealOf<Ops>> make_table() {
@@ -272,6 +320,7 @@ detail::KernelTableT<RealOf<Ops>> make_table() {
   t.sum_sq = &sum_sq<Ops>;
   t.dot = &dot<Ops>;
   t.goertzel = &goertzel<Ops>;
+  t.tagscore = &tagscore<Ops>;
   return t;
 }
 

@@ -25,6 +25,10 @@ struct Avx2F32Ops {
   using V = __m256;
 
   static V load(const float* p) { return _mm256_loadu_ps(p); }
+  static V gather(const float* base, const std::uint32_t* idx) {
+    return _mm256_i32gather_ps(
+        base, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx)), 4);
+  }
   static void store(float* p, V v) { _mm256_storeu_ps(p, v); }
   static V bcast(float x) { return _mm256_set1_ps(x); }
   static V add(V a, V b) { return _mm256_add_ps(a, b); }

@@ -31,6 +31,11 @@ struct ScalarF32Ops {
     for (int i = 0; i < 8; ++i) v.l[i] = p[i];
     return v;
   }
+  static V gather(const float* base, const std::uint32_t* idx) {
+    V v;
+    for (int i = 0; i < 8; ++i) v.l[i] = base[idx[i]];
+    return v;
+  }
   static void store(float* p, V v) {
     for (int i = 0; i < 8; ++i) p[i] = v.l[i];
   }

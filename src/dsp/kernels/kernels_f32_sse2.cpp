@@ -24,6 +24,10 @@ struct Sse2F32Ops {
   };
 
   static V load(const float* p) { return {_mm_loadu_ps(p), _mm_loadu_ps(p + 4)}; }
+  static V gather(const float* base, const std::uint32_t* idx) {
+    return {_mm_setr_ps(base[idx[0]], base[idx[1]], base[idx[2]], base[idx[3]]),
+            _mm_setr_ps(base[idx[4]], base[idx[5]], base[idx[6]], base[idx[7]])};
+  }
   static void store(float* p, V v) {
     _mm_storeu_ps(p, v.lo);
     _mm_storeu_ps(p + 4, v.hi);

@@ -21,6 +21,9 @@ struct ScalarOps {
   };
 
   static V load(const double* p) { return {{p[0], p[1], p[2], p[3]}}; }
+  static V gather(const double* base, const std::uint32_t* idx) {
+    return {{base[idx[0]], base[idx[1]], base[idx[2]], base[idx[3]]}};
+  }
   static void store(double* p, V v) {
     p[0] = v.l[0];
     p[1] = v.l[1];

@@ -28,6 +28,12 @@ struct Sse2Ops {
   static V load(const double* p) {
     return {_mm_loadu_pd(p), _mm_loadu_pd(p + 2)};
   }
+  static V gather(const double* base, const std::uint32_t* idx) {
+    // SSE2 has no gather instruction; scalar loads produce the same IEEE
+    // values, so bit-identity holds trivially.
+    return {_mm_set_pd(base[idx[1]], base[idx[0]]),
+            _mm_set_pd(base[idx[3]], base[idx[2]])};
+  }
   static void store(double* p, V v) {
     _mm_storeu_pd(p, v.lo);
     _mm_storeu_pd(p + 2, v.hi);

@@ -101,21 +101,32 @@ double signature_score(std::span<const double> spectrum, std::span<const double>
   // non-negative, so any broadband spectrum correlates highly with any
   // signature.) Returns ≈1 when the energy sits on the signature comb,
   // ≈0 for a flat spectrum, <0 when the comb is depressed.
-  double on = 0.0, on_w = 0.0;
-  double off = 0.0;
-  std::size_t off_n = 0;
+  //
+  // One-pass form: accumulate the total non-DC power alongside the
+  // on-support sums and recover the off-support power as total − spec_on.
+  // This lets TagDetector::detect_many reuse one shared total per range bin
+  // across every tag's signature while staying bit-identical to this
+  // reference (see signature_score_from).
+  double on = 0.0, on_w = 0.0, spec_on = 0.0, total = 0.0;
+  std::size_t n_on = 0;
   for (std::size_t i = 1; i < spectrum.size(); ++i) {  // skip DC
+    total += spectrum[i];
     if (signature[i] > 0.0) {
       on += spectrum[i] * signature[i];
       on_w += signature[i];
-    } else {
-      off += spectrum[i];
-      ++off_n;
+      spec_on += spectrum[i];
+      ++n_on;
     }
   }
+  const std::size_t off_n = (spectrum.size() - 1) - n_on;
+  return signature_score_from(on, on_w, spec_on, total, off_n);
+}
+
+double signature_score_from(double on, double on_w, double spec_on,
+                            double total, std::size_t off_n) {
   if (on_w == 0.0 || off_n == 0) return 0.0;
   const double on_mean = on / on_w;
-  const double off_mean = off / static_cast<double>(off_n);
+  const double off_mean = (total - spec_on) / static_cast<double>(off_n);
   const double denom = on_mean + off_mean;
   if (denom <= 0.0) return 0.0;
   return (on_mean - off_mean) / denom;

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/json.hpp"
 #include "obs/telemetry.hpp"
 
 namespace bis::obs {
@@ -50,6 +51,7 @@ void RunReport::merge(const RunReport& other) {
   downlink_bit_errors += other.downlink_bit_errors;
   detection_attempts += other.detection_attempts;
   detections += other.detections;
+  mod_freq_collisions += other.mod_freq_collisions;
   uplink_bits += other.uplink_bits;
   uplink_bit_errors += other.uplink_bit_errors;
   detector_snr_sum_db += other.detector_snr_sum_db;
@@ -71,55 +73,70 @@ void RunReport::merge(const RunReport& other) {
   stage.tag_decode_s += other.stage.tag_decode_s;
 }
 
-void RunReport::write_json(std::ostream& os) const {
-  os << "{\n";
-  os << "  \"config\": \"" << json_escape(config) << "\",\n";
-  os << "  \"frames\": {\"downlink\": " << downlink_frames
-     << ", \"uplink\": " << uplink_frames
-     << ", \"integrated\": " << integrated_frames << "},\n";
-  os << "  \"chirps_processed\": " << chirps_processed << ",\n";
-  // Rates/SNRs can be NaN (no attempts yet) or ±Inf (zero-noise SNR);
-  // json_number maps those to null so the report always parses.
-  os << "  \"downlink\": {\"sync_attempts\": " << sync_attempts
-     << ", \"sync_locks\": " << sync_locks
-     << ", \"sync_lock_rate\": " << json_number(sync_lock_rate())
-     << ", \"crc_attempts\": " << crc_attempts
-     << ", \"crc_passes\": " << crc_passes
-     << ", \"crc_pass_rate\": " << json_number(crc_pass_rate())
-     << ", \"bits\": " << downlink_bits
-     << ", \"bit_errors\": " << downlink_bit_errors
-     << ", \"ber\": " << json_number(downlink_ber()) << "},\n";
-  os << "  \"uplink\": {\"detection_attempts\": " << detection_attempts
-     << ", \"detections\": " << detections
-     << ", \"bits\": " << uplink_bits
-     << ", \"bit_errors\": " << uplink_bit_errors
-     << ", \"ber\": " << json_number(uplink_ber())
-     << ", \"detector_snr_db\": " << json_number(last_detector_snr_db)
-     << ", \"mean_detector_snr_db\": " << json_number(mean_detector_snr_db())
-     << "},\n";
-  os << "  \"fft_plan_cache\": {\"hits\": " << fft_plan_hits
-     << ", \"misses\": " << fft_plan_misses << ", \"plans\": " << fft_plans
-     << "},\n";
-  os << "  \"window_cache_entries\": " << window_cache_entries << ",\n";
-  os << "  \"regrid_plan_cache\": {\"hits\": " << regrid_plan_hits
-     << ", \"misses\": " << regrid_plan_misses << ", \"plans\": " << regrid_plans
-     << "},\n";
-  os << "  \"awgn_samples\": " << awgn_samples << ",\n";
-  os << "  \"stage_seconds\": {\"if_synthesis\": "
-     << json_number(stage.if_synthesis_s)
-     << ", \"range_fft\": " << json_number(stage.range_fft_s)
-     << ", \"if_correction\": " << json_number(stage.if_correction_s)
-     << ", \"detect\": " << json_number(stage.detect_s)
-     << ", \"uplink_decode\": " << json_number(stage.uplink_decode_s)
-     << ", \"tag_frontend\": " << json_number(stage.tag_frontend_s)
-     << ", \"tag_decode\": " << json_number(stage.tag_decode_s) << "}\n";
-  os << "}";
+void RunReport::append_json(std::string& out) const {
+  // Rates/SNRs can be NaN (no attempts yet) or ±Inf (zero-noise SNR); the
+  // writer maps non-finite doubles to null so the report always parses.
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("config").value(config);
+  w.key("frames").begin_object();
+  w.key("downlink").value(downlink_frames);
+  w.key("uplink").value(uplink_frames);
+  w.key("integrated").value(integrated_frames);
+  w.end_object();
+  w.key("chirps_processed").value(chirps_processed);
+  w.key("downlink").begin_object();
+  w.key("sync_attempts").value(sync_attempts);
+  w.key("sync_locks").value(sync_locks);
+  w.key("sync_lock_rate").value(sync_lock_rate());
+  w.key("crc_attempts").value(crc_attempts);
+  w.key("crc_passes").value(crc_passes);
+  w.key("crc_pass_rate").value(crc_pass_rate());
+  w.key("bits").value(downlink_bits);
+  w.key("bit_errors").value(downlink_bit_errors);
+  w.key("ber").value(downlink_ber());
+  w.end_object();
+  w.key("uplink").begin_object();
+  w.key("detection_attempts").value(detection_attempts);
+  w.key("detections").value(detections);
+  w.key("mod_freq_collisions").value(mod_freq_collisions);
+  w.key("bits").value(uplink_bits);
+  w.key("bit_errors").value(uplink_bit_errors);
+  w.key("ber").value(uplink_ber());
+  w.key("detector_snr_db").value(last_detector_snr_db);
+  w.key("mean_detector_snr_db").value(mean_detector_snr_db());
+  w.end_object();
+  w.key("fft_plan_cache").begin_object();
+  w.key("hits").value(fft_plan_hits);
+  w.key("misses").value(fft_plan_misses);
+  w.key("plans").value(fft_plans);
+  w.end_object();
+  w.key("window_cache_entries").value(window_cache_entries);
+  w.key("regrid_plan_cache").begin_object();
+  w.key("hits").value(regrid_plan_hits);
+  w.key("misses").value(regrid_plan_misses);
+  w.key("plans").value(regrid_plans);
+  w.end_object();
+  w.key("awgn_samples").value(awgn_samples);
+  w.key("stage_seconds").begin_object();
+  w.key("if_synthesis").value(stage.if_synthesis_s);
+  w.key("range_fft").value(stage.range_fft_s);
+  w.key("if_correction").value(stage.if_correction_s);
+  w.key("detect").value(stage.detect_s);
+  w.key("uplink_decode").value(stage.uplink_decode_s);
+  w.key("tag_frontend").value(stage.tag_frontend_s);
+  w.key("tag_decode").value(stage.tag_decode_s);
+  w.end_object();
+  w.end_object();
 }
 
+void RunReport::write_json(std::ostream& os) const { os << to_json(); }
+
 std::string RunReport::to_json() const {
-  std::ostringstream oss;
-  write_json(oss);
-  return oss.str();
+  std::string out;
+  out.reserve(768);
+  append_json(out);
+  return out;
 }
 
 std::string RunReport::outcome_key() const {

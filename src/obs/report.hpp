@@ -50,6 +50,11 @@ struct RunReport {
   // Uplink / sensing outcomes.
   std::uint64_t detection_attempts = 0;
   std::uint64_t detections = 0;
+  std::uint64_t mod_freq_collisions = 0;  ///< Multi-tag sensing: assigned-
+                                          ///< frequency pairs closer than the
+                                          ///< slow-time FFT resolution,
+                                          ///< summed per frame (see
+                                          ///< core::count_mod_freq_collisions).
   std::uint64_t uplink_bits = 0;
   std::uint64_t uplink_bit_errors = 0;
   double detector_snr_sum_db = 0.0;  ///< Over detection attempts.
@@ -85,6 +90,12 @@ struct RunReport {
   /// One JSON object with every field above plus the derived rates.
   void write_json(std::ostream& os) const;
   std::string to_json() const;
+
+  /// Append the same JSON object (compact) to @p out through the
+  /// common::JsonWriter string path — no ostringstream. Aggregators dumping
+  /// many reports (BiScatterNetwork::report_json over thousands of links)
+  /// reserve one string and append every report into it.
+  void append_json(std::string& out) const;
 
   /// Deterministic digest of the *outcome* fields only: frame/bit/detection
   /// counters and the SNR accumulators (%.17g — bit-exact for doubles).

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <span>
 #include <tuple>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
@@ -24,6 +26,8 @@ TagDetector::TagDetector(const TagDetectorConfig& config) : config_(config) {
   BIS_CHECK(config_.duty_cycle > 0.0 && config_.duty_cycle < 1.0);
   BIS_CHECK(config_.slow_time_pad_factor >= 1);
   for (double f : config_.candidate_mod_freqs_hz) BIS_CHECK(f > 0.0);
+  self_target_ = TagTarget{config_.expected_mod_freq_hz,
+                           config_.candidate_mod_freqs_hz};
 }
 
 namespace {
@@ -48,6 +52,92 @@ const dsp::RVec& cached_signature(double f, double duty, std::size_t count,
                                                       n_fft, harmonics))
              .first;
   return it->second;
+}
+
+/// Entry-major sparse signature bank over the flattened (target, candidate)
+/// scoring rows of one slow-time block shape — the operand of
+/// kernels::ktagscore. Cached per thread and rebuilt only when the rows or
+/// the block shape change (a network re-scores the same bank every frame, so
+/// steady-state detection never rebuilds), keeping detect_many allocation-
+/// free once warm. Entries within a row are stored in ascending spectrum-bin
+/// order so the kernel's per-row accumulation reproduces signature_score's
+/// one-pass loop bit-for-bit; rows shorter than the widest row are padded
+/// with (idx 0, weight 0), which contributes exactly +0.0 (all operands of
+/// the sums are non-negative, so no −0.0 can arise and adding +0.0 preserves
+/// the bits).
+struct ScoreBank {
+  // Cache key: block shape + the per-row frequencies.
+  std::size_t count = 0;
+  std::size_t n_fft = 0;
+  std::size_t harmonics = 0;
+  double period = 0.0;
+  double duty = 0.0;
+  std::vector<double> freqs;
+
+  std::size_t entries = 0;            ///< Padded entries per row.
+  std::vector<std::uint32_t> idx;     ///< [k·rows + r]: spectrum bin.
+  dsp::RVec w;                        ///< [k·rows + r]: signature weight.
+  dsp::RVec g;                        ///< [k·rows + r]: 1.0 on support.
+  dsp::RVec on_w;                     ///< Per row Σ signature (ascending).
+  std::vector<std::size_t> off_n;     ///< Per row: non-DC bins off support.
+  std::vector<std::size_t> mod_bin;   ///< Per row: fundamental's FFT bin.
+};
+
+ScoreBank& cached_bank(std::span<const double> freqs, double duty,
+                       std::size_t count, double period, std::size_t n_fft,
+                       std::size_t harmonics) {
+  thread_local ScoreBank bank;
+  if (bank.count == count && bank.n_fft == n_fft &&
+      bank.harmonics == harmonics && bank.period == period &&
+      bank.duty == duty && bank.freqs.size() == freqs.size() &&
+      std::equal(bank.freqs.begin(), bank.freqs.end(), freqs.begin()))
+    return bank;
+
+  bank.count = count;
+  bank.n_fft = n_fft;
+  bank.harmonics = harmonics;
+  bank.period = period;
+  bank.duty = duty;
+  bank.freqs.assign(freqs.begin(), freqs.end());
+
+  const std::size_t rows = freqs.size();
+  const std::size_t spec_size = n_fft / 2 + 1;
+  const double bin_hz = (1.0 / period) / static_cast<double>(n_fft);
+
+  std::vector<const dsp::RVec*> sigs(rows);
+  std::vector<std::vector<std::uint32_t>> row_idx(rows);
+  bank.on_w.assign(rows, 0.0);
+  bank.off_n.assign(rows, 0);
+  bank.mod_bin.resize(rows);
+  bank.entries = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    sigs[r] = &cached_signature(freqs[r], duty, count, period, n_fft, harmonics);
+    const dsp::RVec& sig = *sigs[r];
+    for (std::size_t i = 1; i < spec_size; ++i) {  // skip DC
+      if (sig[i] > 0.0) {
+        row_idx[r].push_back(static_cast<std::uint32_t>(i));
+        bank.on_w[r] += sig[i];
+      }
+    }
+    bank.off_n[r] = (spec_size - 1) - row_idx[r].size();
+    bank.mod_bin[r] =
+        static_cast<std::size_t>(std::llround(freqs[r] / bin_hz));
+    bank.entries = std::max(bank.entries, row_idx[r].size());
+  }
+
+  bank.idx.assign(bank.entries * rows, 0);
+  bank.w.assign(bank.entries * rows, 0.0);
+  bank.g.assign(bank.entries * rows, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const dsp::RVec& sig = *sigs[r];
+    for (std::size_t k = 0; k < row_idx[r].size(); ++k) {
+      const std::size_t e = k * rows + r;
+      bank.idx[e] = row_idx[r][k];
+      bank.w[e] = sig[row_idx[r][k]];
+      bank.g[e] = 1.0;
+    }
+  }
+  return bank;
 }
 
 }  // namespace
@@ -122,61 +212,53 @@ dsp::RVec TagDetector::slow_time_spectrum(const AlignedProfiles& profiles,
   return dsp::RVec(s.begin(), s.end());
 }
 
-void TagDetector::score_block(const AlignedProfiles& profiles,
-                              std::size_t first, std::size_t count,
-                              ThreadPool* pool, BinScores& out) const {
-  BIS_TRACE_SPAN("radar.score_block");
-  const double slow_fs = 1.0 / profiles.chirp_period_s;
-  const std::size_t n_fft =
-      dsp::next_power_of_two(count) * config_.slow_time_pad_factor;
-  const double bin_hz = slow_fs / static_cast<double>(n_fft);
-
-  std::span<const double> candidates(config_.candidate_mod_freqs_hz);
-  if (candidates.empty())
-    candidates = std::span<const double>(&config_.expected_mod_freq_hz, 1);
-
-  // Per-range-bin scores: the slow-time tone power at each candidate
-  // frequency, gated by the square-wave signature correlation and by tone
-  // *prominence* over the bin's own spectral floor (broadband clutter
-  // residue under CSSK slope variation is flat, a tag tone is not).
-  out.metric.assign(profiles.n_bins(), 0.0);
-  out.tone_power.assign(profiles.n_bins(), 0.0);
-  out.score.assign(profiles.n_bins(), 0.0);
-  // Each bin's slow-time FFT and scoring is independent and writes only its
-  // own slots — a pure map, bit-identical for any thread count.
-  bis::parallel_for(pool, 0, profiles.n_bins(), [&](std::size_t b) {
-    if (profiles.range_grid[b] < config_.min_range_m) return;
-    const auto spectrum = spectrum_into(profiles, b, first, count);
-    const double floor = std::max(
-        bis::median(std::span<const double>(spectrum.data() + 1,
-                                            spectrum.size() - 1)),
-        1e-30);
-    for (double f : candidates) {
-      const auto& signature =
-          cached_signature(f, config_.duty_cycle, count,
-                           profiles.chirp_period_s, n_fft, config_.n_harmonics);
-      const auto mod_bin = static_cast<std::size_t>(std::llround(f / bin_hz));
-      double p = 0.0;
-      for (long long k = static_cast<long long>(mod_bin) - 1;
-           k <= static_cast<long long>(mod_bin) + 1; ++k) {
-        if (k >= 0 && k < static_cast<long long>(spectrum.size()))
-          p = std::max(p, spectrum[static_cast<std::size_t>(k)]);
-      }
-      const double s = dsp::signature_score(spectrum, signature);
-      out.tone_power[b] = std::max(out.tone_power[b], p);
-      out.score[b] = std::max(out.score[b], s);
-      if (s < config_.min_signature_score) continue;
-      if (p < config_.min_tone_prominence * floor) continue;
-      out.metric[b] = std::max(out.metric[b], p * s);
-    }
-  });
-}
-
 TagDetection TagDetector::detect(const AlignedProfiles& profiles,
                                  ThreadPool* pool) const {
-  BIS_TRACE_SPAN("radar.detect");
   TagDetection det;
-  if (profiles.n_chirps() < 8 || profiles.n_bins() < 4) return det;
+  detect_many(profiles, std::span<const TagTarget>(&self_target_, 1),
+              std::span<TagDetection>(&det, 1), pool);
+  return det;
+}
+
+std::vector<TagDetection> TagDetector::detect_many(
+    const AlignedProfiles& profiles, std::span<const TagTarget> targets,
+    ThreadPool* pool) const {
+  std::vector<TagDetection> out(targets.size());
+  detect_many(profiles, targets, out, pool);
+  return out;
+}
+
+void TagDetector::detect_many(const AlignedProfiles& profiles,
+                              std::span<const TagTarget> targets,
+                              std::span<TagDetection> out,
+                              ThreadPool* pool) const {
+  BIS_TRACE_SPAN("radar.detect_many");
+  BIS_CHECK(out.size() == targets.size());
+  for (auto& det : out) det = TagDetection{};
+  if (targets.empty()) return;
+  if (profiles.n_chirps() < 8 || profiles.n_bins() < 4) return;
+
+  const std::size_t n_tags = targets.size();
+  const std::size_t n_bins = profiles.n_bins();
+
+  // Flatten every (target, candidate frequency) pair into one scoring row;
+  // tag_rows[t]..tag_rows[t+1] are target t's rows in candidate order.
+  thread_local std::vector<double> row_freqs;
+  thread_local std::vector<std::size_t> tag_rows;
+  row_freqs.clear();
+  tag_rows.clear();
+  for (const TagTarget& target : targets) {
+    tag_rows.push_back(row_freqs.size());
+    std::span<const double> cands(target.candidate_mod_freqs_hz);
+    if (cands.empty())
+      cands = std::span<const double>(&target.expected_mod_freq_hz, 1);
+    for (double f : cands) {
+      BIS_CHECK(f > 0.0);
+      row_freqs.push_back(f);
+    }
+  }
+  tag_rows.push_back(row_freqs.size());
+  const std::size_t rows = row_freqs.size();
 
   // Under FSK the tag hops tones per symbol block, so integrate per block
   // and sum the (normalized) per-block metrics: the true tag bin scores in
@@ -185,72 +267,162 @@ TagDetection TagDetector::detect(const AlignedProfiles& profiles,
   if (block == 0 || block > profiles.n_chirps()) block = profiles.n_chirps();
   const std::size_t n_blocks = profiles.n_chirps() / block;
 
-  // Accumulators and the per-block scores live in per-thread scratch: the
-  // streaming engine calls detect() thousands of times per second, and every
-  // call fully overwrites them (assign / clear below).
-  thread_local dsp::RVec metric;
-  thread_local dsp::RVec tone_power;
-  thread_local dsp::RVec score;
-  thread_local BinScores s;
-  metric.assign(profiles.n_bins(), 0.0);
-  tone_power.assign(profiles.n_bins(), 0.0);
-  score.assign(profiles.n_bins(), 0.0);
+  // The frame's slow-time cadence is the first chirp's duration + idle, and
+  // under CSSK the slope draw perturbs that sum's last ULP — a different
+  // double per frame for the same physical cadence, which would mint a new
+  // signature-cache key (and rebuild the score bank) every call. Quantize to
+  // 1 ps: a pure function of the value, so scoring stays bit-identical
+  // across threads and call orders, and each physical cadence maps to one
+  // cache key.
+  const double chirp_period =
+      std::round(profiles.chirp_period_s * 1e12) / 1e12;
+
+  // Tag-major [t·n_bins + b] accumulators and per-block scores, in
+  // per-thread scratch: the streaming engine detects thousands of frames per
+  // second and every call fully overwrites them.
+  thread_local dsp::RVec metric, tone_power, score;
+  thread_local dsp::RVec blk_metric, blk_tone, blk_score;
+  metric.assign(n_tags * n_bins, 0.0);
+  tone_power.assign(n_tags * n_bins, 0.0);
+  score.assign(n_tags * n_bins, 0.0);
+
   for (std::size_t blk = 0; blk < n_blocks; ++blk) {
-    score_block(profiles, blk * block, block, pool, s);
-    const double peak = *std::max_element(s.metric.begin(), s.metric.end());
-    const double norm = peak > 0.0 ? 1.0 / peak : 0.0;
-    dsp::kernels::kaxpy(norm, s.metric, metric);
-    for (std::size_t b = 0; b < profiles.n_bins(); ++b) {
-      tone_power[b] = std::max(tone_power[b], s.tone_power[b]);
-      score[b] = std::max(score[b], s.score[b]);
+    const std::size_t first = blk * block;
+    const std::size_t count = block;
+    const std::size_t n_fft =
+        dsp::next_power_of_two(count) * config_.slow_time_pad_factor;
+    const ScoreBank& bank =
+        cached_bank(row_freqs, config_.duty_cycle, count, chirp_period,
+                    n_fft, config_.n_harmonics);
+    blk_metric.assign(n_tags * n_bins, 0.0);
+    blk_tone.assign(n_tags * n_bins, 0.0);
+    blk_score.assign(n_tags * n_bins, 0.0);
+
+    // Workers must write into the *calling* thread's scratch: thread_local
+    // variables are not captured by lambdas — inside a pool worker they'd
+    // name that worker's own (empty) instances. Raw pointers pin the shared
+    // buffers; each bin writes only its own slots, so there is no race.
+    const std::size_t* const tag_rows_p = tag_rows.data();
+    double* const blk_metric_p = blk_metric.data();
+    double* const blk_tone_p = blk_tone.data();
+    double* const blk_score_p = blk_score.data();
+
+    // Per-range-bin scores: the slow-time tone power at each candidate
+    // frequency, gated by the square-wave signature correlation and by tone
+    // *prominence* over the bin's own spectral floor (broadband clutter
+    // residue under CSSK slope variation is flat, a tag tone is not). The
+    // spectrum, its median floor, and its total non-DC power are computed
+    // once per bin and shared by every row. Each bin's FFT and scoring is
+    // independent and writes only its own slots — a pure map, bit-identical
+    // for any thread count.
+    bis::parallel_for(pool, 0, n_bins, [&](std::size_t b) {
+      if (profiles.range_grid[b] < config_.min_range_m) return;
+      const auto spectrum = spectrum_into(profiles, b, first, count);
+      const double floor = std::max(
+          bis::median(std::span<const double>(spectrum.data() + 1,
+                                              spectrum.size() - 1)),
+          1e-30);
+      double total = 0.0;
+      for (std::size_t i = 1; i < spectrum.size(); ++i) total += spectrum[i];
+
+      thread_local dsp::RVec on, son;
+      on.resize(rows);
+      son.resize(rows);
+      dsp::kernels::ktagscore(spectrum, bank.idx, bank.w, bank.g, rows, on,
+                              son);
+
+      std::size_t t = 0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        while (r >= tag_rows_p[t + 1]) ++t;
+        const std::size_t mod_bin = bank.mod_bin[r];
+        double p = 0.0;
+        for (long long k = static_cast<long long>(mod_bin) - 1;
+             k <= static_cast<long long>(mod_bin) + 1; ++k) {
+          if (k >= 0 && k < static_cast<long long>(spectrum.size()))
+            p = std::max(p, spectrum[static_cast<std::size_t>(k)]);
+        }
+        const double s = dsp::signature_score_from(on[r], bank.on_w[r],
+                                                   son[r], total,
+                                                   bank.off_n[r]);
+        const std::size_t slot = t * n_bins + b;
+        blk_tone_p[slot] = std::max(blk_tone_p[slot], p);
+        blk_score_p[slot] = std::max(blk_score_p[slot], s);
+        if (s < config_.min_signature_score) continue;
+        if (p < config_.min_tone_prominence * floor) continue;
+        blk_metric_p[slot] = std::max(blk_metric_p[slot], p * s);
+      }
+    });
+
+    for (std::size_t t = 0; t < n_tags; ++t) {
+      const std::span<const double> bm(blk_metric.data() + t * n_bins, n_bins);
+      const double peak = *std::max_element(bm.begin(), bm.end());
+      const double norm = peak > 0.0 ? 1.0 / peak : 0.0;
+      dsp::kernels::kaxpy(norm, bm,
+                          std::span<double>(metric.data() + t * n_bins, n_bins));
+      for (std::size_t b = 0; b < n_bins; ++b) {
+        tone_power[t * n_bins + b] =
+            std::max(tone_power[t * n_bins + b], blk_tone[t * n_bins + b]);
+        score[t * n_bins + b] =
+            std::max(score[t * n_bins + b], blk_score[t * n_bins + b]);
+      }
     }
   }
 
-  const dsp::Peak peak = dsp::find_peak(metric);
-  if (metric[peak.index] <= 0.0) return det;
-
-  // Noise floor: median modulation-tone power across the *other* range bins
-  // (same slow-time frequencies, no tag). Using off-tone bins of the tag's
-  // own spectrum would measure the square wave's spectral leakage instead
-  // of the noise, saturating the SNR estimate.
+  // Per-tag epilogue, sequential in tag order (metrics are recorded in the
+  // same order a sequential per-tag loop would record them).
   thread_local std::vector<double> noise_bins;
-  noise_bins.clear();
-  noise_bins.reserve(profiles.n_bins());
-  const std::size_t exclusion = 4;
-  for (std::size_t b = 0; b < profiles.n_bins(); ++b) {
-    if (profiles.range_grid[b] < config_.min_range_m) continue;
-    const auto dist = b > peak.index ? b - peak.index : peak.index - b;
-    if (dist <= exclusion) continue;
-    noise_bins.push_back(tone_power[b]);
+  for (std::size_t t = 0; t < n_tags; ++t) {
+    TagDetection& det = out[t];
+    const std::span<const double> m(metric.data() + t * n_bins, n_bins);
+    const std::span<const double> tp(tone_power.data() + t * n_bins, n_bins);
+
+    const dsp::Peak peak = dsp::find_peak(m);
+    if (m[peak.index] <= 0.0) continue;
+
+    static obs::Gauge& snr_gauge =
+        obs::Registry::instance().gauge("bis.radar.detector_snr_db");
+    static obs::Histogram& snr_hist = obs::Registry::instance().histogram(
+        "bis.radar.detector_snr_hist_db",
+        {0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 60.0});
+    static obs::Counter& detections =
+        obs::Registry::instance().counter("bis.radar.detections");
+
+    // Noise floor: median modulation-tone power across the *other* range
+    // bins (same slow-time frequencies, no tag). Using off-tone bins of the
+    // tag's own spectrum would measure the square wave's spectral leakage
+    // instead of the noise, saturating the SNR estimate.
+    noise_bins.clear();
+    noise_bins.reserve(n_bins);
+    const std::size_t exclusion = 4;
+    for (std::size_t b = 0; b < n_bins; ++b) {
+      if (profiles.range_grid[b] < config_.min_range_m) continue;
+      const auto dist = b > peak.index ? b - peak.index : peak.index - b;
+      if (dist <= exclusion) continue;
+      noise_bins.push_back(tp[b]);
+    }
+    const double noise = noise_bins.empty() ? 1e-30 : bis::median(noise_bins);
+    const double snr_db = to_db(std::max(tp[peak.index], 1e-30) /
+                                std::max(noise, 1e-30));
+
+    det.grid_bin = peak.index;
+    det.mod_power = tp[peak.index];
+    det.signature_score = score[t * n_bins + peak.index];
+    det.snr_db = snr_db;
+    det.found = snr_db >= config_.detection_threshold_db;
+
+    snr_gauge.set(snr_db);
+    snr_hist.observe(std::max(snr_db, 0.0));
+    if (det.found) detections.add();
+
+    // Sub-bin range refinement on the detection metric.
+    const double grid_step =
+        profiles.range_grid.size() >= 2
+            ? profiles.range_grid[1] - profiles.range_grid[0]
+            : 0.0;
+    det.range_m =
+        profiles.range_grid[peak.index] +
+        (peak.refined_index - static_cast<double>(peak.index)) * grid_step;
   }
-  const double noise = noise_bins.empty() ? 1e-30 : bis::median(noise_bins);
-  const double snr_db = to_db(std::max(tone_power[peak.index], 1e-30) /
-                              std::max(noise, 1e-30));
-
-  det.grid_bin = peak.index;
-  det.mod_power = tone_power[peak.index];
-  det.signature_score = score[peak.index];
-  det.snr_db = snr_db;
-  det.found = snr_db >= config_.detection_threshold_db;
-
-  static obs::Gauge& snr_gauge =
-      obs::Registry::instance().gauge("bis.radar.detector_snr_db");
-  static obs::Histogram& snr_hist = obs::Registry::instance().histogram(
-      "bis.radar.detector_snr_hist_db",
-      {0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 60.0});
-  static obs::Counter& detections =
-      obs::Registry::instance().counter("bis.radar.detections");
-  snr_gauge.set(snr_db);
-  snr_hist.observe(std::max(snr_db, 0.0));
-  if (det.found) detections.add();
-
-  // Sub-bin range refinement on the detection metric.
-  const double grid_step = profiles.range_grid.size() >= 2
-                               ? profiles.range_grid[1] - profiles.range_grid[0]
-                               : 0.0;
-  det.range_m = profiles.range_grid[peak.index] +
-                (peak.refined_index - static_cast<double>(peak.index)) * grid_step;
-  return det;
 }
 
 }  // namespace bis::radar

@@ -61,17 +61,44 @@ struct TagDetection {
   double signature_score = 0.0;  ///< Matched-filter correlation, 0…1.
 };
 
+/// One tag's scoring frequencies for batched detection (detect_many). All
+/// remaining knobs — duty cycle, harmonics, thresholds, block length,
+/// precision — come from the shared TagDetectorConfig: a network's tags
+/// differ only in where their modulation tones sit.
+struct TagTarget {
+  double expected_mod_freq_hz = 0.0;
+  std::vector<double> candidate_mod_freqs_hz;  ///< FSK alphabet; empty =
+                                               ///< expected frequency only.
+};
+
 class TagDetector {
  public:
   explicit TagDetector(const TagDetectorConfig& config);
 
   /// Detect and localize the tag in an aligned (and typically
-  /// background-subtracted) frame. The per-range-bin slow-time FFT scoring —
-  /// the hottest loop of the radar side — fans across @p pool (nullptr =
-  /// inline); each bin writes only its own score slots, so the detection is
-  /// bit-identical for any thread count.
+  /// background-subtracted) frame. Thin wrapper over detect_many with the
+  /// single target taken from the config — one call per tag is the normative
+  /// reference the batched path is gated against.
   TagDetection detect(const AlignedProfiles& profiles,
                       ThreadPool* pool = nullptr) const;
+
+  /// Batched multi-tag detection: compute each range bin's slow-time power
+  /// spectrum ONCE per block (fanned across @p pool; nullptr = inline) and
+  /// score every target's modulation comb against it with the
+  /// kernels::ktagscore signature bank. Writes targets.size() detections
+  /// into @p out (same order). Per-tag results are bit-identical to calling
+  /// detect() once per target with that target's frequencies, at any tag
+  /// count, thread count, and SIMD target: the spectrum/score math per
+  /// (bin, row) is the same IEEE operations in the same order, and each bin
+  /// writes only its own slots of the score matrices.
+  void detect_many(const AlignedProfiles& profiles,
+                   std::span<const TagTarget> targets,
+                   std::span<TagDetection> out, ThreadPool* pool = nullptr) const;
+
+  /// Allocating convenience overload.
+  std::vector<TagDetection> detect_many(const AlignedProfiles& profiles,
+                                        std::span<const TagTarget> targets,
+                                        ThreadPool* pool = nullptr) const;
 
   /// Slow-time one-sided power spectrum of one grid bin (mean-removed,
   /// Hann-windowed, zero-padded) over chirps [first, first+count); count=0
@@ -82,16 +109,6 @@ class TagDetector {
   const TagDetectorConfig& config() const { return config_; }
 
  private:
-  struct BinScores {
-    dsp::RVec metric;
-    dsp::RVec tone_power;
-    dsp::RVec score;
-  };
-  /// Per-bin scores over one slow-time block, written into @p out (buffers
-  /// reused across blocks/frames — detect() is allocation-free once warm).
-  void score_block(const AlignedProfiles& profiles, std::size_t first,
-                   std::size_t count, ThreadPool* pool, BinScores& out) const;
-
   /// slow_time_spectrum into per-thread scratch; the returned span is valid
   /// until the next call on the same thread.
   std::span<const double> spectrum_into(const AlignedProfiles& profiles,
@@ -99,6 +116,7 @@ class TagDetector {
                                         std::size_t count) const;
 
   TagDetectorConfig config_;
+  TagTarget self_target_;  ///< detect()'s single target, built once.
 };
 
 }  // namespace bis::radar

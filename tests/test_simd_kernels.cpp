@@ -409,6 +409,93 @@ TEST_F(SimdKernels, LinkSimulatorFrameOutputBitIdenticalAcrossTargets) {
   }
 }
 
+TEST_F(SimdKernels, TagScoreBankMatchesPerRowScalarReference) {
+  // Entry-major bank: element [k·n + j] is entry k of row j. The reference
+  // is the one-row two-accumulator loop the kernel doc promises bit-identity
+  // with (k ascending, unfused in the double tier). Row counts straddle the
+  // SSE2 (2) and AVX2 (4) lane widths; bank includes padding entries
+  // (idx = 0, w = g = 0) like detect_many emits for short harmonic combs.
+  const std::size_t n_spec = 96;
+  const auto spec = [&] {
+    RVec s(n_spec);
+    for (std::size_t i = 0; i < n_spec; ++i) s[i] = std::abs(det(i + 5000)) + 1e-12;
+    return s;
+  }();
+  for (SimdTarget t : available_targets()) {
+    ASSERT_TRUE(set_target(t));
+    SCOPED_TRACE(target_name(t));
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                          std::size_t{3}, std::size_t{4}, std::size_t{5},
+                          std::size_t{7}, std::size_t{8}, std::size_t{9},
+                          std::size_t{33}}) {
+      SCOPED_TRACE("rows=" + std::to_string(n));
+      const std::size_t entries = 7;
+      std::vector<std::uint32_t> idx(entries * n, 0);
+      RVec w(entries * n, 0.0), g(entries * n, 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        // Row j uses 3 + j % 5 live entries; the rest stay as padding.
+        const std::size_t live = 3 + j % 5;
+        for (std::size_t k = 0; k < live; ++k) {
+          const std::size_t e = k * n + j;
+          idx[e] = static_cast<std::uint32_t>((11 * j + 17 * k + 1) % n_spec);
+          w[e] = 1.0 / static_cast<double>(2 * k + 1);
+          g[e] = 1.0;
+        }
+      }
+      RVec on(n, -1.0), son(n, -1.0);
+      ktagscore(spec, idx, w, g, n, on, son);
+      RVec ref_on(n), ref_son(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        double a = 0.0, b = 0.0;
+        for (std::size_t k = 0; k < entries; ++k) {
+          const std::size_t e = k * n + j;
+          const double xv = spec[idx[e]];
+          a = a + w[e] * xv;
+          b = b + g[e] * xv;
+        }
+        ref_on[j] = a;
+        ref_son[j] = b;
+      }
+      EXPECT_TRUE(bits_eq(on, ref_on));
+      EXPECT_TRUE(bits_eq(son, ref_son));
+    }
+  }
+}
+
+TEST_F(SimdKernels, TagScoreBankFloatTierWithinToleranceOfFloatScalar) {
+  // The float32_fast tier may fuse (real FMA), so SIMD targets are gated by
+  // tolerance against the float scalar backend, not bitwise.
+  const std::size_t n_spec = 96, n = 13, entries = 5;
+  std::vector<float> spec(n_spec);
+  for (std::size_t i = 0; i < n_spec; ++i)
+    spec[i] = static_cast<float>(std::abs(det(i + 7000))) + 1e-9f;
+  std::vector<std::uint32_t> idx(entries * n, 0);
+  std::vector<float> w(entries * n, 0.0f), g(entries * n, 0.0f);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t k = 0; k < 1 + j % entries; ++k) {
+      const std::size_t e = k * n + j;
+      idx[e] = static_cast<std::uint32_t>((7 * j + 13 * k + 3) % n_spec);
+      w[e] = 1.0f / static_cast<float>(2 * k + 1);
+      g[e] = 1.0f;
+    }
+  ASSERT_TRUE(set_target(SimdTarget::kScalar));
+  std::vector<float> on_ref(n), son_ref(n);
+  ktagscore(std::span<const float>(spec), idx, w, g, n,
+            std::span<float>(on_ref), std::span<float>(son_ref));
+  for (SimdTarget t : available_targets()) {
+    ASSERT_TRUE(set_target(t));
+    SCOPED_TRACE(target_name(t));
+    std::vector<float> on(n, -1.0f), son(n, -1.0f);
+    ktagscore(std::span<const float>(spec), idx, w, g, n,
+              std::span<float>(on), std::span<float>(son));
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(on[j], on_ref[j], 1e-5f * std::max(1.0f, std::abs(on_ref[j])));
+      EXPECT_NEAR(son[j], son_ref[j],
+                  1e-5f * std::max(1.0f, std::abs(son_ref[j])));
+    }
+  }
+}
+
 TEST_F(SimdKernels, SystemConfigSimdFieldAppliesOverride) {
   const SimdTarget saved = active_target();
   core::SystemConfig cfg;

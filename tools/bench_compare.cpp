@@ -42,7 +42,7 @@ constexpr const char* kIdentityFields[] = {
     "links", "workers", "frames_per_link", "threads",  "n",
     "n_fft", "kernel",  "chirps",          "points",   "rows",
     "bins",  "target",  "tier",            "precision", "grid",
-    "fallback",
+    "fallback", "tags",
 };
 
 /// Boolean gates: a true→false flip is always a regression.
