@@ -326,6 +326,7 @@ bool write_bench_json(const std::string& path) {
 
   std::ofstream out(path);
   out << "{\n";
+  out << "  \"host\": " << bench::host_fingerprint_json() << ",\n";
   out << "  \"hardware_threads\": " << hardware_threads << ",\n";
   out << "  \"determinism\": {\"links\": 8, \"frames\": 3, "
          "\"worker_counts\": [1, 2, 4], \"bit_identical\": "

@@ -23,6 +23,7 @@
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "core/experiments.hpp"
+#include "core/inventory.hpp"
 #include "core/link_simulator.hpp"
 #include "core/network.hpp"
 #include "core/system_config.hpp"

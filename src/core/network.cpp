@@ -44,6 +44,29 @@ std::vector<double> assign_mod_frequencies(std::size_t n, double chirp_period_s)
   return freqs;
 }
 
+std::size_t fixed_sensing_slot(const phy::SlopeAlphabet& alphabet) {
+  return alphabet.slot_for_data(alphabet.data_symbol_count() / 2);
+}
+
+double tag_backscatter_amplitude(const SystemConfig& base, double range_m) {
+  const double f_c =
+      base.radar.start_frequency_hz + base.radar.bandwidth_hz / 2.0;
+  return std::sqrt(dbm_to_watts(rf::uplink_power_at_radar_dbm(
+      base.radar.rf, base.tag.rf, range_m, f_c)));
+}
+
+std::vector<radar::IfReturn> clutter_returns(const SystemConfig& base) {
+  const double f_c =
+      base.radar.start_frequency_hz + base.radar.bandwidth_hz / 2.0;
+  std::vector<radar::IfReturn> out;
+  for (const auto& spec : radar::Scene::office_clutter_layout()) {
+    const double p_dbm = rf::clutter_return_dbm(base.radar.rf, spec.range_m,
+                                                f_c, spec.rcs_offset_db);
+    out.push_back({spec.range_m, std::sqrt(dbm_to_watts(p_dbm)), spec.phase_rad});
+  }
+  return out;
+}
+
 std::size_t count_mod_freq_collisions(std::span<const double> freqs_hz,
                                       std::size_t n_chirps,
                                       double chirp_period_s) {
@@ -95,19 +118,10 @@ BiScatterNetwork::BiScatterNetwork(const NetworkConfig& config)
   // Shared sensing scene, built once: clutter prefix then one return slot
   // per tag. sense_all only rewrites the per-tag amplitudes each chirp.
   const auto& base = config_.base;
-  const double f_c =
-      base.radar.start_frequency_hz + base.radar.bandwidth_hz / 2.0;
   tag_amp_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    tag_amp_[i] = std::sqrt(dbm_to_watts(rf::uplink_power_at_radar_dbm(
-        base.radar.rf, base.tag.rf, config_.tags[i].range_m, f_c)));
-  }
-  for (const auto& spec : radar::Scene::office_clutter_layout()) {
-    const double p_dbm = rf::clutter_return_dbm(base.radar.rf, spec.range_m,
-                                                f_c, spec.rcs_offset_db);
-    returns_.push_back(
-        {spec.range_m, std::sqrt(dbm_to_watts(p_dbm)), spec.phase_rad});
-  }
+  for (std::size_t i = 0; i < n; ++i)
+    tag_amp_[i] = tag_backscatter_amplitude(base, config_.tags[i].range_m);
+  returns_ = clutter_returns(base);
   n_clutter_ = returns_.size();
   for (std::size_t i = 0; i < n; ++i) {
     returns_.push_back(
@@ -191,8 +205,7 @@ std::vector<TagObservation> BiScatterNetwork::sense_all(bool downlink_active) {
   const std::size_t n_chirps = config_.frame_chirps;
   chirps_.clear();
   chirps_.reserve(n_chirps);
-  const std::size_t fixed_slot =
-      alphabet_.slot_for_data(alphabet_.data_symbol_count() / 2);
+  const std::size_t fixed_slot = fixed_sensing_slot(alphabet_);
   for (std::size_t i = 0; i < n_chirps; ++i) {
     const std::size_t slot =
         downlink_active

@@ -54,6 +54,12 @@ void RunReport::merge(const RunReport& other) {
   mod_freq_collisions += other.mod_freq_collisions;
   uplink_bits += other.uplink_bits;
   uplink_bit_errors += other.uplink_bit_errors;
+  inventory_rounds += other.inventory_rounds;
+  inventory_slots += other.inventory_slots;
+  inventory_singletons += other.inventory_singletons;
+  inventory_collisions += other.inventory_collisions;
+  inventory_idles += other.inventory_idles;
+  inventory_reads += other.inventory_reads;
   detector_snr_sum_db += other.detector_snr_sum_db;
   last_detector_snr_db = other.last_detector_snr_db;
   fft_plan_hits += other.fft_plan_hits;
@@ -105,6 +111,16 @@ void RunReport::append_json(std::string& out) const {
   w.key("ber").value(uplink_ber());
   w.key("detector_snr_db").value(last_detector_snr_db);
   w.key("mean_detector_snr_db").value(mean_detector_snr_db());
+  w.end_object();
+  w.key("inventory").begin_object();
+  w.key("rounds").value(inventory_rounds);
+  w.key("slots").value(inventory_slots);
+  w.key("singletons").value(inventory_singletons);
+  w.key("collisions").value(inventory_collisions);
+  w.key("idles").value(inventory_idles);
+  w.key("reads").value(inventory_reads);
+  w.key("collision_rate").value(rate(inventory_collisions, inventory_slots));
+  w.key("empty_slot_rate").value(rate(inventory_idles, inventory_slots));
   w.end_object();
   w.key("fft_plan_cache").begin_object();
   w.key("hits").value(fft_plan_hits);

@@ -60,6 +60,17 @@ struct RunReport {
   double detector_snr_sum_db = 0.0;  ///< Over detection attempts.
   double last_detector_snr_db = 0.0;
 
+  // Inventory (Gen2-style slotted MAC) outcomes — accumulated per round by
+  // core::InventoryEngine. Like mod_freq_collisions these merge additively
+  // and stay OUT of outcome_key(): the engine's own round records are the
+  // parity-gated outcome, the report is observability.
+  std::uint64_t inventory_rounds = 0;
+  std::uint64_t inventory_slots = 0;       ///< Slots scheduled across rounds.
+  std::uint64_t inventory_singletons = 0;  ///< Slots with one responder.
+  std::uint64_t inventory_collisions = 0;  ///< Slots with ≥2 responders.
+  std::uint64_t inventory_idles = 0;       ///< Slots nobody answered.
+  std::uint64_t inventory_reads = 0;       ///< Tags successfully inventoried.
+
   // DSP-cache activity attributable to this run (deltas since the owner was
   // constructed, captured at report time).
   std::uint64_t fft_plan_hits = 0;

@@ -30,6 +30,26 @@ void AlignedProfiles::column_magnitude_f32(std::size_t bin,
     out[m] = std::sqrt(static_cast<float>(std::norm(rows[m][bin])));
 }
 
+void AlignedProfiles::column_magnitude(std::size_t bin, std::size_t first,
+                                       std::size_t count,
+                                       std::span<double> out) const {
+  BIS_CHECK(bin < n_bins());
+  BIS_CHECK(first + count <= rows.size());
+  BIS_CHECK(out.size() == count);
+  for (std::size_t m = 0; m < count; ++m)
+    out[m] = std::abs(rows[first + m][bin]);
+}
+
+void AlignedProfiles::column_magnitude_f32(std::size_t bin, std::size_t first,
+                                           std::size_t count,
+                                           std::span<float> out) const {
+  BIS_CHECK(bin < n_bins());
+  BIS_CHECK(first + count <= rows.size());
+  BIS_CHECK(out.size() == count);
+  for (std::size_t m = 0; m < count; ++m)
+    out[m] = std::sqrt(static_cast<float>(std::norm(rows[first + m][bin])));
+}
+
 dsp::CVec AlignedProfiles::column(std::size_t bin) const {
   dsp::CVec out(rows.size());
   column(bin, out);
@@ -110,25 +130,31 @@ void RangeAligner::align_into(std::span<const RangeProfile> profiles,
 }
 
 void subtract_background(AlignedProfiles& profiles, std::size_t background_row) {
-  BIS_CHECK(background_row < profiles.rows.size());
+  subtract_background(profiles, 0, profiles.rows.size(), background_row);
+}
+
+void subtract_background(AlignedProfiles& profiles, std::size_t first,
+                         std::size_t count, std::size_t background_row) {
+  BIS_CHECK(first + count <= profiles.rows.size());
+  BIS_CHECK(background_row < count);
   // Subtract in place against a reference to the background row — no copy.
   // Rows other than the background are independent of it, and the
   // background row itself is handled last (it becomes exactly zero).
-  const dsp::CVec& background = profiles.rows[background_row];
+  const dsp::CVec& background = profiles.rows[first + background_row];
   // Complex subtraction is component-wise, so each row is its 2n interleaved
   // reals and row −= background is kaxpy with a = −1 (x + (−1)·y ≡ x − y
   // bit-for-bit in IEEE-754).
   const std::span<const double> bg_flat(
       reinterpret_cast<const double*>(background.data()), 2 * background.size());
-  for (std::size_t r = 0; r < profiles.rows.size(); ++r) {
-    if (r == background_row) continue;
+  for (std::size_t r = first; r < first + count; ++r) {
+    if (r == first + background_row) continue;
     auto& row = profiles.rows[r];
     BIS_CHECK(row.size() == background.size());
     dsp::kernels::kaxpy(
         -1.0, bg_flat,
         std::span<double>(reinterpret_cast<double*>(row.data()), 2 * row.size()));
   }
-  auto& bg = profiles.rows[background_row];
+  auto& bg = profiles.rows[first + background_row];
   std::fill(bg.begin(), bg.end(), dsp::cdouble(0.0, 0.0));
 }
 

@@ -41,6 +41,15 @@ struct AlignedProfiles {
   /// limits. Tolerance-validated, never bit-compared.
   void column_magnitude_f32(std::size_t bin, std::span<float> out) const;
 
+  /// Windowed overloads: magnitudes of chirps [first, first+count) only
+  /// (out.size() == count). |·| is per-element, so the values are identical
+  /// to slicing the full-column read — but a batched multi-slot frame only
+  /// pays for the slot's own window instead of the whole slow-time column.
+  void column_magnitude(std::size_t bin, std::size_t first, std::size_t count,
+                        std::span<double> out) const;
+  void column_magnitude_f32(std::size_t bin, std::size_t first,
+                            std::size_t count, std::span<float> out) const;
+
   /// Complex slow-time column.
   dsp::CVec column(std::size_t bin) const;
 
@@ -81,5 +90,13 @@ class RangeAligner {
 /// of each frame for background subtraction"). @p background_row selects
 /// which chirp to treat as background.
 void subtract_background(AlignedProfiles& profiles, std::size_t background_row = 0);
+
+/// Windowed variant for batched multi-slot frames: rows [first, first+count)
+/// form one logical frame whose background is row first + background_row;
+/// rows outside the window are untouched. Bit-identical to calling
+/// subtract_background on a standalone AlignedProfiles holding just that
+/// window (same kaxpy over the same operands).
+void subtract_background(AlignedProfiles& profiles, std::size_t first,
+                         std::size_t count, std::size_t background_row);
 
 }  // namespace bis::radar

@@ -140,11 +140,16 @@ ScoreBank& cached_bank(std::span<const double> freqs, double duty,
   return bank;
 }
 
-}  // namespace
-
-std::span<const double> TagDetector::spectrum_into(
-    const AlignedProfiles& profiles, std::size_t bin, std::size_t first,
-    std::size_t count) const {
+/// Slow-time power spectrum of one grid bin over chirps [first, first+count),
+/// in per-thread scratch. The windowed column read touches only the block's
+/// own rows — in a batched multi-slot frame each slot pays for its window,
+/// not the whole concatenated column — and |·| is per-element, so the values
+/// (and everything downstream) are bit-identical to slicing a full-column
+/// read as the pre-window implementation did.
+std::span<const double> spectrum_window(const TagDetectorConfig& config,
+                                        const AlignedProfiles& profiles,
+                                        std::size_t bin, std::size_t first,
+                                        std::size_t count) {
   const std::size_t n_chirps = profiles.n_chirps();
   BIS_CHECK(first < n_chirps);
   if (count == 0) count = n_chirps - first;
@@ -154,17 +159,17 @@ std::span<const double> TagDetector::spectrum_into(
   // thread_local scratch keeps each parallel_for lane allocation-free; every
   // call fully overwrites the buffers, so reuse never leaks state across bins.
   const std::size_t n_fft =
-      dsp::next_power_of_two(count) * config_.slow_time_pad_factor;
+      dsp::next_power_of_two(count) * config.slow_time_pad_factor;
   thread_local dsp::RVec power;
-  if (config_.precision == dsp::Precision::kFloat32Fast) {
+  if (config.precision == dsp::Precision::kFloat32Fast) {
     // float32_fast tier: the whole per-bin chain (|·| column, mean removal,
     // Hann, rfft, |·|²) runs in float; the power spectrum converts to the
     // double scoring buffer once at the end.
     thread_local dsp::FVec colf;
     thread_local dsp::FVec xwf;
-    colf.resize(n_chirps);
-    profiles.column_magnitude_f32(bin, colf);
-    const std::span<const float> series(colf.data() + first, count);
+    colf.resize(count);
+    profiles.column_magnitude_f32(bin, first, count, colf);
+    const std::span<const float> series(colf.data(), count);
     float mean = 0.0f;
     for (float x : series) mean += x;
     mean /= static_cast<float>(series.size());
@@ -184,9 +189,9 @@ std::span<const double> TagDetector::spectrum_into(
   }
   thread_local dsp::RVec col;
   thread_local dsp::RVec xw;
-  col.resize(n_chirps);
-  profiles.column_magnitude(bin, col);
-  const std::span<const double> series(col.data() + first, count);
+  col.resize(count);
+  profiles.column_magnitude(bin, first, count, col);
+  const std::span<const double> series(col.data(), count);
   // Static clutter residue is DC in slow time; remove the mean before the
   // FFT so the modulation tone dominates. Fused mean-removal + Hann window
   // evaluates exactly what remove_dc + apply_window computed.
@@ -203,6 +208,120 @@ std::span<const double> TagDetector::spectrum_into(
   power.resize(spec.size());
   dsp::kernels::knorm(spec, power);
   return power;
+}
+
+/// Scores one range bin of one integration block against a signature bank —
+/// the shared inner body of detect_many and detect_slots. Row → tag mapping
+/// comes from @p tag_rows_p (n_tags+1 offsets, row indices relative to this
+/// block's rows); scores land in the tag-major [t·n_bins + b] blk matrices.
+/// Each call writes only bin @p b's slots, so concurrent calls on distinct
+/// bins never race.
+void score_block_bin(const TagDetectorConfig& config,
+                     const AlignedProfiles& profiles, std::size_t b,
+                     std::size_t first, std::size_t count,
+                     const ScoreBank& bank, std::size_t rows,
+                     const std::size_t* tag_rows_p, std::size_t n_bins,
+                     double* blk_metric_p, double* blk_tone_p,
+                     double* blk_score_p) {
+  if (profiles.range_grid[b] < config.min_range_m) return;
+  const auto spectrum = spectrum_window(config, profiles, b, first, count);
+  const double floor = std::max(
+      bis::median(std::span<const double>(spectrum.data() + 1,
+                                          spectrum.size() - 1)),
+      1e-30);
+  double total = 0.0;
+  for (std::size_t i = 1; i < spectrum.size(); ++i) total += spectrum[i];
+
+  thread_local dsp::RVec on, son;
+  on.resize(rows);
+  son.resize(rows);
+  dsp::kernels::ktagscore(spectrum, bank.idx, bank.w, bank.g, rows, on, son);
+
+  std::size_t t = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    while (r >= tag_rows_p[t + 1]) ++t;
+    const std::size_t mod_bin = bank.mod_bin[r];
+    double p = 0.0;
+    for (long long k = static_cast<long long>(mod_bin) - 1;
+         k <= static_cast<long long>(mod_bin) + 1; ++k) {
+      if (k >= 0 && k < static_cast<long long>(spectrum.size()))
+        p = std::max(p, spectrum[static_cast<std::size_t>(k)]);
+    }
+    const double s = dsp::signature_score_from(on[r], bank.on_w[r], son[r],
+                                               total, bank.off_n[r]);
+    const std::size_t slot = t * n_bins + b;
+    blk_tone_p[slot] = std::max(blk_tone_p[slot], p);
+    blk_score_p[slot] = std::max(blk_score_p[slot], s);
+    if (s < config.min_signature_score) continue;
+    if (p < config.min_tone_prominence * floor) continue;
+    blk_metric_p[slot] = std::max(blk_metric_p[slot], p * s);
+  }
+}
+
+/// Per-tag detection epilogue shared by detect_many and detect_slots: peak
+/// pick on the fused metric, noise floor from the other bins' tone power,
+/// SNR threshold, sub-bin range refinement, and the obs gauges.
+void finalize_tag(const TagDetectorConfig& config,
+                  const AlignedProfiles& profiles,
+                  std::span<const double> metric_row,
+                  std::span<const double> tone_row,
+                  std::span<const double> score_row, TagDetection& det) {
+  const std::size_t n_bins = profiles.n_bins();
+  const dsp::Peak peak = dsp::find_peak(metric_row);
+  if (metric_row[peak.index] <= 0.0) return;
+
+  static obs::Gauge& snr_gauge =
+      obs::Registry::instance().gauge("bis.radar.detector_snr_db");
+  static obs::Histogram& snr_hist = obs::Registry::instance().histogram(
+      "bis.radar.detector_snr_hist_db",
+      {0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 60.0});
+  static obs::Counter& detections =
+      obs::Registry::instance().counter("bis.radar.detections");
+
+  // Noise floor: median modulation-tone power across the *other* range
+  // bins (same slow-time frequencies, no tag). Using off-tone bins of the
+  // tag's own spectrum would measure the square wave's spectral leakage
+  // instead of the noise, saturating the SNR estimate.
+  thread_local std::vector<double> noise_bins;
+  noise_bins.clear();
+  noise_bins.reserve(n_bins);
+  const std::size_t exclusion = 4;
+  for (std::size_t b = 0; b < n_bins; ++b) {
+    if (profiles.range_grid[b] < config.min_range_m) continue;
+    const auto dist = b > peak.index ? b - peak.index : peak.index - b;
+    if (dist <= exclusion) continue;
+    noise_bins.push_back(tone_row[b]);
+  }
+  const double noise = noise_bins.empty() ? 1e-30 : bis::median(noise_bins);
+  const double snr_db = to_db(std::max(tone_row[peak.index], 1e-30) /
+                              std::max(noise, 1e-30));
+
+  det.grid_bin = peak.index;
+  det.mod_power = tone_row[peak.index];
+  det.signature_score = score_row[peak.index];
+  det.snr_db = snr_db;
+  det.found = snr_db >= config.detection_threshold_db;
+
+  snr_gauge.set(snr_db);
+  snr_hist.observe(std::max(snr_db, 0.0));
+  if (det.found) detections.add();
+
+  // Sub-bin range refinement on the detection metric.
+  const double grid_step =
+      profiles.range_grid.size() >= 2
+          ? profiles.range_grid[1] - profiles.range_grid[0]
+          : 0.0;
+  det.range_m =
+      profiles.range_grid[peak.index] +
+      (peak.refined_index - static_cast<double>(peak.index)) * grid_step;
+}
+
+}  // namespace
+
+std::span<const double> TagDetector::spectrum_into(
+    const AlignedProfiles& profiles, std::size_t bin, std::size_t first,
+    std::size_t count) const {
+  return spectrum_window(config_, profiles, bin, first, count);
 }
 
 dsp::RVec TagDetector::slow_time_spectrum(const AlignedProfiles& profiles,
@@ -316,41 +435,9 @@ void TagDetector::detect_many(const AlignedProfiles& profiles,
     // independent and writes only its own slots — a pure map, bit-identical
     // for any thread count.
     bis::parallel_for(pool, 0, n_bins, [&](std::size_t b) {
-      if (profiles.range_grid[b] < config_.min_range_m) return;
-      const auto spectrum = spectrum_into(profiles, b, first, count);
-      const double floor = std::max(
-          bis::median(std::span<const double>(spectrum.data() + 1,
-                                              spectrum.size() - 1)),
-          1e-30);
-      double total = 0.0;
-      for (std::size_t i = 1; i < spectrum.size(); ++i) total += spectrum[i];
-
-      thread_local dsp::RVec on, son;
-      on.resize(rows);
-      son.resize(rows);
-      dsp::kernels::ktagscore(spectrum, bank.idx, bank.w, bank.g, rows, on,
-                              son);
-
-      std::size_t t = 0;
-      for (std::size_t r = 0; r < rows; ++r) {
-        while (r >= tag_rows_p[t + 1]) ++t;
-        const std::size_t mod_bin = bank.mod_bin[r];
-        double p = 0.0;
-        for (long long k = static_cast<long long>(mod_bin) - 1;
-             k <= static_cast<long long>(mod_bin) + 1; ++k) {
-          if (k >= 0 && k < static_cast<long long>(spectrum.size()))
-            p = std::max(p, spectrum[static_cast<std::size_t>(k)]);
-        }
-        const double s = dsp::signature_score_from(on[r], bank.on_w[r],
-                                                   son[r], total,
-                                                   bank.off_n[r]);
-        const std::size_t slot = t * n_bins + b;
-        blk_tone_p[slot] = std::max(blk_tone_p[slot], p);
-        blk_score_p[slot] = std::max(blk_score_p[slot], s);
-        if (s < config_.min_signature_score) continue;
-        if (p < config_.min_tone_prominence * floor) continue;
-        blk_metric_p[slot] = std::max(blk_metric_p[slot], p * s);
-      }
+      score_block_bin(config_, profiles, b, first, count, bank, rows,
+                      tag_rows_p, n_bins, blk_metric_p, blk_tone_p,
+                      blk_score_p);
     });
 
     for (std::size_t t = 0; t < n_tags; ++t) {
@@ -370,58 +457,147 @@ void TagDetector::detect_many(const AlignedProfiles& profiles,
 
   // Per-tag epilogue, sequential in tag order (metrics are recorded in the
   // same order a sequential per-tag loop would record them).
-  thread_local std::vector<double> noise_bins;
   for (std::size_t t = 0; t < n_tags; ++t) {
-    TagDetection& det = out[t];
-    const std::span<const double> m(metric.data() + t * n_bins, n_bins);
-    const std::span<const double> tp(tone_power.data() + t * n_bins, n_bins);
+    finalize_tag(config_, profiles,
+                 std::span<const double>(metric.data() + t * n_bins, n_bins),
+                 std::span<const double>(tone_power.data() + t * n_bins, n_bins),
+                 std::span<const double>(score.data() + t * n_bins, n_bins),
+                 out[t]);
+  }
+}
 
-    const dsp::Peak peak = dsp::find_peak(m);
-    if (m[peak.index] <= 0.0) continue;
+void TagDetector::detect_slots(const AlignedProfiles& profiles,
+                               std::span<const SlotSpan> slots,
+                               std::span<const TagTarget> targets,
+                               std::span<TagDetection> out,
+                               ThreadPool* pool) const {
+  BIS_TRACE_SPAN("radar.detect_slots");
+  BIS_CHECK(out.size() == targets.size());
+  for (auto& det : out) det = TagDetection{};
+  if (slots.empty()) return;
+  const std::size_t n_bins = profiles.n_bins();
+  if (n_bins < 4) return;
 
-    static obs::Gauge& snr_gauge =
-        obs::Registry::instance().gauge("bis.radar.detector_snr_db");
-    static obs::Histogram& snr_hist = obs::Registry::instance().histogram(
-        "bis.radar.detector_snr_hist_db",
-        {0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 60.0});
-    static obs::Counter& detections =
-        obs::Registry::instance().counter("bis.radar.detections");
+  // Same 1 ps cadence quantization as detect_many — the signature-bank cache
+  // key must be a pure function of the physical cadence.
+  const double chirp_period =
+      std::round(profiles.chirp_period_s * 1e12) / 1e12;
 
-    // Noise floor: median modulation-tone power across the *other* range
-    // bins (same slow-time frequencies, no tag). Using off-tone bins of the
-    // tag's own spectrum would measure the square wave's spectral leakage
-    // instead of the noise, saturating the SNR estimate.
-    noise_bins.clear();
-    noise_bins.reserve(n_bins);
-    const std::size_t exclusion = 4;
-    for (std::size_t b = 0; b < n_bins; ++b) {
-      if (profiles.range_grid[b] < config_.min_range_m) continue;
-      const auto dist = b > peak.index ? b - peak.index : peak.index - b;
-      if (dist <= exclusion) continue;
-      noise_bins.push_back(tp[b]);
+  // Flatten every slot's (target, candidate) pairs into one row table.
+  // Row/tag offsets are slot-relative so score_block_bin sees exactly the
+  // table detect_many would build for that slot's standalone frame. Slots
+  // shorter than 8 chirps (or with no targets) keep zeroed detections —
+  // mirroring detect_many's whole-frame guard.
+  struct SlotPlan {
+    std::size_t slot = 0;            ///< Index into slots.
+    std::size_t row_first = 0;       ///< Into row_freqs.
+    std::size_t rows = 0;
+    std::size_t tag_rows_first = 0;  ///< Into tag_rows.
+    std::size_t blk_first = 0;       ///< Into the blk score matrices.
+  };
+  thread_local std::vector<SlotPlan> plans;
+  thread_local std::vector<double> row_freqs;
+  thread_local std::vector<std::size_t> tag_rows;
+  plans.clear();
+  row_freqs.clear();
+  tag_rows.clear();
+  std::size_t blk_total = 0;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    const SlotSpan& slot = slots[s];
+    BIS_CHECK(slot.first_chirp + slot.n_chirps <= profiles.n_chirps());
+    BIS_CHECK(slot.first_target + slot.n_targets <= targets.size());
+    // Each slot is one integration block: block_chirps must not split it.
+    BIS_CHECK(config_.block_chirps == 0 ||
+              config_.block_chirps >= slot.n_chirps);
+    if (slot.n_chirps < 8 || slot.n_targets == 0) continue;
+    SlotPlan plan;
+    plan.slot = s;
+    plan.row_first = row_freqs.size();
+    plan.tag_rows_first = tag_rows.size();
+    for (std::size_t t = 0; t < slot.n_targets; ++t) {
+      const TagTarget& target = targets[slot.first_target + t];
+      tag_rows.push_back(row_freqs.size() - plan.row_first);
+      std::span<const double> cands(target.candidate_mod_freqs_hz);
+      if (cands.empty())
+        cands = std::span<const double>(&target.expected_mod_freq_hz, 1);
+      for (double f : cands) {
+        BIS_CHECK(f > 0.0);
+        row_freqs.push_back(f);
+      }
     }
-    const double noise = noise_bins.empty() ? 1e-30 : bis::median(noise_bins);
-    const double snr_db = to_db(std::max(tp[peak.index], 1e-30) /
-                                std::max(noise, 1e-30));
+    tag_rows.push_back(row_freqs.size() - plan.row_first);
+    plan.rows = row_freqs.size() - plan.row_first;
+    plan.blk_first = blk_total;
+    blk_total += slot.n_targets * n_bins;
+    plans.push_back(plan);
+  }
+  if (plans.empty()) return;
 
-    det.grid_bin = peak.index;
-    det.mod_power = tp[peak.index];
-    det.signature_score = score[t * n_bins + peak.index];
-    det.snr_db = snr_db;
-    det.found = snr_db >= config_.detection_threshold_db;
+  thread_local dsp::RVec blk_metric, blk_tone, blk_score;
+  blk_metric.assign(blk_total, 0.0);
+  blk_tone.assign(blk_total, 0.0);
+  blk_score.assign(blk_total, 0.0);
 
-    snr_gauge.set(snr_db);
-    snr_hist.observe(std::max(snr_db, 0.0));
-    if (det.found) detections.add();
+  // Pin the calling thread's scratch for the workers (thread_local variables
+  // are not lambda-captured); each (slot, bin) item writes only its own
+  // slots of the blk matrices, so there is no race. The signature bank is a
+  // per-worker thread_local memo: an inventory round scores the same channel
+  // plan in every slot, so each lane builds it once and then hits. Bank
+  // contents are a pure function of the key, so which lane runs which slot
+  // cannot change any score.
+  const SlotPlan* const plans_p = plans.data();
+  const double* const row_freqs_p = row_freqs.data();
+  const std::size_t* const tag_rows_p = tag_rows.data();
+  double* const blk_metric_p = blk_metric.data();
+  double* const blk_tone_p = blk_tone.data();
+  double* const blk_score_p = blk_score.data();
+  const std::size_t n_plans = plans.size();
 
-    // Sub-bin range refinement on the detection metric.
-    const double grid_step =
-        profiles.range_grid.size() >= 2
-            ? profiles.range_grid[1] - profiles.range_grid[0]
-            : 0.0;
-    det.range_m =
-        profiles.range_grid[peak.index] +
-        (peak.refined_index - static_cast<double>(peak.index)) * grid_step;
+  bis::parallel_for(pool, 0, n_plans * n_bins, [&](std::size_t item) {
+    const SlotPlan& plan = plans_p[item / n_bins];
+    const std::size_t b = item % n_bins;
+    const SlotSpan& slot = slots[plan.slot];
+    const std::size_t n_fft = dsp::next_power_of_two(slot.n_chirps) *
+                              config_.slow_time_pad_factor;
+    const ScoreBank& bank = cached_bank(
+        std::span<const double>(row_freqs_p + plan.row_first, plan.rows),
+        config_.duty_cycle, slot.n_chirps, chirp_period, n_fft,
+        config_.n_harmonics);
+    score_block_bin(config_, profiles, b, slot.first_chirp, slot.n_chirps,
+                    bank, plan.rows, tag_rows_p + plan.tag_rows_first, n_bins,
+                    blk_metric_p + plan.blk_first, blk_tone_p + plan.blk_first,
+                    blk_score_p + plan.blk_first);
+  });
+
+  // Per-slot fuse + epilogue, sequential in (slot, tag) order — the same
+  // single-block fusion ops detect_many runs (metric starts at zero and
+  // accumulates norm·blk via kaxpy; tone/score max-merge from zero), so the
+  // results are bit-identical to per-slot detect_many calls.
+  thread_local dsp::RVec metric_row, tone_row, score_row;
+  metric_row.resize(n_bins);
+  tone_row.resize(n_bins);
+  score_row.resize(n_bins);
+  for (const SlotPlan& plan : plans) {
+    const SlotSpan& slot = slots[plan.slot];
+    for (std::size_t t = 0; t < slot.n_targets; ++t) {
+      const std::span<const double> bm(
+          blk_metric.data() + plan.blk_first + t * n_bins, n_bins);
+      const std::span<const double> bt(
+          blk_tone.data() + plan.blk_first + t * n_bins, n_bins);
+      const std::span<const double> bs(
+          blk_score.data() + plan.blk_first + t * n_bins, n_bins);
+      const double peak = *std::max_element(bm.begin(), bm.end());
+      const double norm = peak > 0.0 ? 1.0 / peak : 0.0;
+      std::fill(metric_row.begin(), metric_row.end(), 0.0);
+      dsp::kernels::kaxpy(norm, bm,
+                          std::span<double>(metric_row.data(), n_bins));
+      for (std::size_t b = 0; b < n_bins; ++b) {
+        tone_row[b] = std::max(0.0, bt[b]);
+        score_row[b] = std::max(0.0, bs[b]);
+      }
+      finalize_tag(config_, profiles, metric_row, tone_row, score_row,
+                   out[slot.first_target + t]);
+    }
   }
 }
 

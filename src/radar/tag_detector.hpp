@@ -71,6 +71,18 @@ struct TagTarget {
                                                ///< expected frequency only.
 };
 
+/// One MAC slot's window inside a batched multi-slot frame (detect_slots):
+/// chirps [first_chirp, first_chirp+n_chirps) of the AlignedProfiles form
+/// the slot's slow-time integration window, and the slot's scoring targets
+/// (and result rows) are out[first_target .. first_target+n_targets).
+/// Target ranges of different slots must not overlap.
+struct SlotSpan {
+  std::size_t first_chirp = 0;
+  std::size_t n_chirps = 0;
+  std::size_t first_target = 0;
+  std::size_t n_targets = 0;
+};
+
 class TagDetector {
  public:
   explicit TagDetector(const TagDetectorConfig& config);
@@ -99,6 +111,25 @@ class TagDetector {
   std::vector<TagDetection> detect_many(const AlignedProfiles& profiles,
                                         std::span<const TagTarget> targets,
                                         ThreadPool* pool = nullptr) const;
+
+  /// Batched multi-slot detection over one concatenated slow-time frame:
+  /// each SlotSpan names a chirp window (one MAC slot's integration block)
+  /// and the contiguous run of @p targets scored against it. All
+  /// (slot, range-bin) spectra fan across @p pool as one flat map, so a
+  /// round's worth of slots costs one parallel pass instead of one
+  /// detect_many call per slot. Per-slot results are bit-identical to
+  /// calling detect_many on a standalone AlignedProfiles holding just that
+  /// slot's rows: the windowed spectrum, the signature bank, and the
+  /// fuse/epilogue path run the same IEEE operations in the same order,
+  /// and each (slot, bin) work item writes only its own score slots.
+  /// Slots are single integration blocks — config block_chirps must be 0 or
+  /// ≥ every slot's n_chirps. Slots shorter than 8 chirps yield empty
+  /// detections (the same guard detect_many applies to whole frames).
+  void detect_slots(const AlignedProfiles& profiles,
+                    std::span<const SlotSpan> slots,
+                    std::span<const TagTarget> targets,
+                    std::span<TagDetection> out,
+                    ThreadPool* pool = nullptr) const;
 
   /// Slow-time one-sided power spectrum of one grid bin (mean-removed,
   /// Hann-windowed, zero-padded) over chirps [first, first+count); count=0

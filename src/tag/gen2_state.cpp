@@ -1,0 +1,41 @@
+#include "tag/gen2_state.hpp"
+
+namespace bis::tag {
+
+namespace {
+
+/// splitmix64 finalizer — full-avalanche mix of one 64-bit word.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t gen2_hash(std::uint64_t seed, std::uint64_t salt,
+                        std::uint64_t a, std::uint64_t b) {
+  // Feed each word through the finalizer before combining so that adjacent
+  // (round, tag) pairs land in unrelated slots.
+  std::uint64_t h = mix64(seed ^ salt);
+  h = mix64(h ^ mix64(a + 0xA5A5A5A5A5A5A5A5ull));
+  h = mix64(h ^ mix64(b + 0xC3C3C3C3C3C3C3C3ull));
+  return h;
+}
+
+std::uint32_t draw_slot(std::uint64_t seed, std::uint64_t round,
+                        std::uint64_t tag, std::uint32_t q) {
+  const std::uint64_t h = gen2_hash(seed, 0x51075107ull, round, tag);
+  const std::uint64_t n_slots = 1ull << q;
+  // Top bits — the finalizer's best-mixed — modulo a power of two is a mask.
+  return static_cast<std::uint32_t>((h >> 32) & (n_slots - 1));
+}
+
+double draw_duty_phase(std::uint64_t seed, std::uint64_t tag) {
+  const std::uint64_t h = gen2_hash(seed, 0x0D07D07Dull, tag, 0);
+  // 53 top bits → uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace bis::tag

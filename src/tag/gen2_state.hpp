@@ -1,0 +1,62 @@
+#pragma once
+
+/// @file gen2_state.hpp
+/// EPC Gen2-style inventory state for a simulated tag population. Real Gen2
+/// tags carry four session flags (S0–S3, each A or B), a 15-bit slot counter
+/// drawn per Query/QueryAdjust, and answer a round only when their flag for
+/// the round's session matches the interrogator's target. The reproduction
+/// keeps that state per tag but derives the slot draw from a deterministic
+/// counter-based hash instead of a stateful PRNG: the draw for
+/// (seed, round, tag) is a pure function, so the MAC schedule is identical
+/// no matter how slots are later grouped into batches or fanned across
+/// threads — the property every batched-vs-sequential parity gate rests on.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace bis::tag {
+
+/// A/B inventoried flag of one Gen2 session.
+enum class InventoriedFlag : std::uint8_t { kA = 0, kB = 1 };
+
+/// Per-tag Gen2 MAC state: four session flags plus the waveform-level
+/// identity of the tag's slot response (backscatter channel + square-wave
+/// phase). Kept deliberately tiny — an inventory engine holds one of these
+/// per tag for populations of 10^5+, where a full TagNode would not fit.
+struct Gen2TagState {
+  std::array<InventoriedFlag, 4> flags = {
+      InventoriedFlag::kA, InventoriedFlag::kA, InventoriedFlag::kA,
+      InventoriedFlag::kA};
+  std::uint32_t channel = 0;   ///< Slow-time channel index in the plan.
+  double duty_phase = 0.0;     ///< Square-wave phase offset, [0, 1).
+
+  bool matches(std::uint8_t session, InventoriedFlag target) const {
+    return flags[session] == target;
+  }
+  /// Successful read: flip the session's flag (A→B or B→A).
+  void flip(std::uint8_t session) {
+    flags[session] = flags[session] == InventoriedFlag::kA
+                         ? InventoriedFlag::kB
+                         : InventoriedFlag::kA;
+  }
+};
+
+/// Counter-based uniform hash (splitmix64 finalizer over the mixed words).
+/// Pure function of its inputs — the basis of slot draws, duty phases, and
+/// per-slot synthesis seeds.
+std::uint64_t gen2_hash(std::uint64_t seed, std::uint64_t salt,
+                        std::uint64_t a, std::uint64_t b);
+
+/// The tag's slot counter draw for one round: uniform over [0, 2^q).
+/// Matches Gen2's "pick a random value in [0, 2^Q − 1]" on Query.
+std::uint32_t draw_slot(std::uint64_t seed, std::uint64_t round,
+                        std::uint64_t tag, std::uint32_t q);
+
+/// The tag's square-wave phase offset in [0, 1): two tags colliding in a
+/// slot on the same channel superpose with independent phases (anti-phase
+/// responses cancel rather than reinforce), which is what makes slot
+/// collisions corrupt the matched-filter signature instead of doubling it.
+double draw_duty_phase(std::uint64_t seed, std::uint64_t tag);
+
+}  // namespace bis::tag

@@ -23,6 +23,12 @@ RunReport make_report(std::uint64_t k) {
   r.uplink_bit_errors = k % 3;
   r.detector_snr_sum_db = 0.125 * static_cast<double>(k);  // exact in binary
   r.last_detector_snr_db = static_cast<double>(k);
+  r.inventory_rounds = k;
+  r.inventory_slots = 16 * k;
+  r.inventory_singletons = 4 * k;
+  r.inventory_collisions = 2 * k;
+  r.inventory_idles = 10 * k;
+  r.inventory_reads = 5 * k;
   r.fft_plans = k;           // cache snapshots merge as max, not sum
   r.regrid_plans = 2 * k;
   r.stage.detect_s = 0.25 * static_cast<double>(k);
@@ -42,6 +48,12 @@ TEST(ReportMerge, CountersAddAndSnapshotsMax) {
   EXPECT_EQ(total.uplink_bit_errors, 2u);  // 3%3 + 5%3
   EXPECT_DOUBLE_EQ(total.detector_snr_sum_db, 1.0);
   EXPECT_DOUBLE_EQ(total.last_detector_snr_db, 5.0);  // latest merged wins
+  EXPECT_EQ(total.inventory_rounds, 8u);
+  EXPECT_EQ(total.inventory_slots, 128u);
+  EXPECT_EQ(total.inventory_singletons, 32u);
+  EXPECT_EQ(total.inventory_collisions, 16u);
+  EXPECT_EQ(total.inventory_idles, 80u);
+  EXPECT_EQ(total.inventory_reads, 40u);
   EXPECT_EQ(total.fft_plans, 5u);
   EXPECT_EQ(total.regrid_plans, 10u);
   EXPECT_DOUBLE_EQ(total.stage.detect_s, 2.0);
@@ -53,6 +65,9 @@ TEST(ReportMerge, OutcomeKeyIgnoresTimingAndCaches) {
   b.stage.detect_s += 123.0;   // wall time varies run to run
   b.fft_plan_hits += 99;       // process-wide cache deltas vary too
   b.fft_plans = 1;
+  // Inventory counters are observability, not the parity-gated outcome (the
+  // engine's round records are) — they stay out of the key by design.
+  b.inventory_reads += 17;
   EXPECT_EQ(a.outcome_key(), b.outcome_key());
   b.uplink_bit_errors += 1;    // ...but outcomes must not
   EXPECT_NE(a.outcome_key(), b.outcome_key());

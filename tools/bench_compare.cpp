@@ -42,7 +42,8 @@ constexpr const char* kIdentityFields[] = {
     "links", "workers", "frames_per_link", "threads",  "n",
     "n_fft", "kernel",  "chirps",          "points",   "rows",
     "bins",  "target",  "tier",            "precision", "grid",
-    "fallback", "tags",
+    "fallback", "tags", "population",      "q",        "session",
+    "slot_chirps", "n_channels",
 };
 
 /// Boolean gates: a true→false flip is always a regression.
